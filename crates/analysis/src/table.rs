@@ -1,0 +1,246 @@
+//! Result tables.
+//!
+//! Every experiment in the `repro` harness produces a [`Table`] which can be
+//! rendered as Markdown (for `EXPERIMENTS.md`), CSV (for plotting) or JSON
+//! (for machine comparison against the paper's numbers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple rectangular results table.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Table II: probability of line 0 being evicted"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the row width does not match the headers.
+    pub fn push_row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        debug_assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} does not match {} headers",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers first, comma separated, quoting cells
+    /// that contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the table as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: `Table` is always serialisable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("Table serialisation cannot fail")
+    }
+
+    /// Writes the Markdown, CSV and JSON renderings next to each other:
+    /// `<stem>.md`, `<stem>.csv` and `<stem>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the parent directory or writing
+    /// the files.
+    pub fn write_all_formats(&self, stem: &Path) -> io::Result<()> {
+        if let Some(parent) = stem.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(stem.with_extension("md"), self.to_markdown())?;
+        fs::write(stem.with_extension("csv"), self.to_csv())?;
+        fs::write(stem.with_extension("json"), self.to_json())?;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Fixed-width plain-text rendering for terminal output.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        if !self.title.is_empty() {
+            writeln!(f, "{}", self.title)?;
+        }
+        let render_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{:width$}", cell, width = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a probability as a percentage with one decimal, as the paper's
+/// tables do (e.g. `68.8%`).
+pub fn percent(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+/// Formats a ratio as a percentage with two decimals (Table VII style).
+pub fn percent2(p: f64) -> String {
+    format!("{:.2}%", p * 100.0)
+}
+
+/// Formats a floating value with the given number of decimals.
+pub fn fixed(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new("Demo", &["N", "LRU", "Intel"]);
+        t.push_row(["8", "100%", "68.8%"]);
+        t.push_row(["9", "100%", "81.7%"]);
+        t
+    }
+
+    #[test]
+    fn markdown_rendering_has_header_separator_and_rows() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| N | LRU | Intel |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| 9 | 100% | 81.7% |"));
+    }
+
+    #[test]
+    fn csv_rendering_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(["1,5", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = sample_table();
+        let json = t.to_json();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn display_renders_fixed_width() {
+        let text = sample_table().to_string();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("68.8%"));
+    }
+
+    #[test]
+    fn write_all_formats_creates_three_files() {
+        let dir = std::env::temp_dir().join(format!("analysis-table-test-{}", std::process::id()));
+        let stem = dir.join("nested").join("table2");
+        sample_table().write_all_formats(&stem).unwrap();
+        assert!(stem.with_extension("md").exists());
+        assert!(stem.with_extension("csv").exists());
+        assert!(stem.with_extension("json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(percent(0.688), "68.8%");
+        assert_eq!(percent2(0.0359), "3.59%");
+        assert_eq!(fixed(3.14159, 2), "3.14");
+        assert!(sample_table().len() == 2 && !sample_table().is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Reuse-based baselines: Flush+Reload, Flush+Flush and Evict+Reload.
+//!
+//! These are the Hit+Miss channels of the paper's Table I that rely on a
+//! cache line *shared* between sender and receiver (a shared library page or
+//! page-deduplicated memory).  They are implemented here to substantiate the
+//! comparison the paper draws: the WB channel needs neither shared memory nor
+//! `clflush`, while these do.
+
+use crate::common::{calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_cache::addr::PhysAddr;
+use sim_cache::policy::PolicyKind;
+use sim_core::machine::{Machine, MachineConfig};
+use sim_core::memlayout::SetLines;
+use sim_core::process::{AddressSpace, ProcessId};
+use wb_channel::Error;
+
+const RECEIVER: u16 = 1;
+const SENDER: u16 = 2;
+const NOISE: u16 = 3;
+
+/// Which reuse-based primitive the receiver uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReuseKind {
+    FlushReload,
+    FlushFlush,
+    EvictReload,
+}
+
+/// A reuse-based covert channel over one shared cache line.
+#[derive(Debug)]
+pub struct ReuseChannel {
+    kind: ReuseKind,
+    policy: PolicyKind,
+    seed: u64,
+    calibration_rounds: usize,
+}
+
+impl ReuseChannel {
+    /// Flush+Reload (Yarom & Falkner).
+    pub fn flush_reload(seed: u64) -> ReuseChannel {
+        ReuseChannel {
+            kind: ReuseKind::FlushReload,
+            policy: PolicyKind::TreePlru,
+            seed,
+            calibration_rounds: 32,
+        }
+    }
+
+    /// Flush+Flush (Gruss et al.).
+    pub fn flush_flush(seed: u64) -> ReuseChannel {
+        ReuseChannel {
+            kind: ReuseKind::FlushFlush,
+            policy: PolicyKind::TreePlru,
+            seed,
+            calibration_rounds: 32,
+        }
+    }
+
+    /// Evict+Reload (no `clflush`, still shared memory).
+    pub fn evict_reload(seed: u64) -> ReuseChannel {
+        ReuseChannel {
+            kind: ReuseKind::EvictReload,
+            policy: PolicyKind::TreePlru,
+            seed,
+            calibration_rounds: 32,
+        }
+    }
+
+    fn run(&mut self, bits: &[bool], noise: Option<NoiseSpec>) -> Result<BaselineReport, Error> {
+        let mut machine = Machine::new(MachineConfig::xeon_e5_2650(self.policy, self.seed))?;
+        let geometry = machine.l1_geometry();
+        let target_set = 7usize;
+        // The shared line lives at a "global" physical address both processes
+        // map (e.g. a shared library page): neither party's private space.
+        let shared = PhysAddr::from_set_and_tag(target_set, 42, geometry);
+        // Eviction set for Evict+Reload and noisy lines for the noise process.
+        let receiver_evict = SetLines::build(
+            AddressSpace::new(ProcessId(RECEIVER)),
+            geometry,
+            target_set,
+            10,
+            1_000,
+        );
+        let noise_lines = SetLines::build(
+            AddressSpace::new(ProcessId(NOISE)),
+            geometry,
+            target_set,
+            2,
+            9_000,
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbead);
+        let mut sender_accesses = 0u64;
+
+        // Warm the shared line and the eviction set.
+        machine.read(SENDER, shared);
+        for &line in receiver_evict.lines() {
+            machine.read(RECEIVER, line);
+        }
+
+        let kind = self.kind;
+        let prepare = |machine: &mut Machine, rng: &mut StdRng| match kind {
+            ReuseKind::FlushReload | ReuseKind::FlushFlush => {
+                machine.flush(RECEIVER, shared);
+            }
+            ReuseKind::EvictReload => {
+                for line in receiver_evict.shuffled(rng) {
+                    machine.read(RECEIVER, line);
+                }
+            }
+        };
+        let encode = |machine: &mut Machine, bit: bool, accesses: &mut u64| {
+            if bit {
+                machine.read(SENDER, shared);
+                *accesses += 1;
+            }
+        };
+        let decode = |machine: &mut Machine, rng: &mut StdRng| -> u64 {
+            match kind {
+                ReuseKind::FlushReload | ReuseKind::EvictReload => {
+                    machine.measured_read(RECEIVER, shared).0
+                }
+                ReuseKind::FlushFlush => {
+                    let overhead = 24 + rng.gen_range(0..=3);
+                    machine.flush(RECEIVER, shared).cycles + overhead
+                }
+            }
+        };
+
+        // Calibration with known alternating bits (no noise).
+        let threshold = calibrate_threshold(self.calibration_rounds, |bit| {
+            prepare(&mut machine, &mut rng);
+            let mut scratch = 0;
+            encode(&mut machine, bit, &mut scratch);
+            decode(&mut machine, &mut rng)
+        });
+
+        // Payload transmission.
+        let mut received = Vec::with_capacity(bits.len());
+        let mut observations = Vec::with_capacity(bits.len());
+        for &bit in bits {
+            prepare(&mut machine, &mut rng);
+            encode(&mut machine, bit, &mut sender_accesses);
+            if let Some(noise) = noise {
+                if rng.gen_bool(noise.probability.clamp(0.0, 1.0)) {
+                    let line = noise_lines.line(rng.gen_range(0..noise_lines.len()));
+                    if noise.dirty {
+                        machine.write(NOISE, line);
+                    } else {
+                        machine.read(NOISE, line);
+                    }
+                }
+            }
+            let observed = decode(&mut machine, &mut rng);
+            observations.push(observed);
+            received.push(classify_bit(&threshold, observed));
+        }
+
+        Ok(BaselineReport::new(
+            self.name(),
+            bits,
+            received,
+            observations,
+            sender_accesses,
+        ))
+    }
+}
+
+impl BaselineChannel for ReuseChannel {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ReuseKind::FlushReload => "Flush+Reload",
+            ReuseKind::FlushFlush => "Flush+Flush",
+            ReuseKind::EvictReload => "Evict+Reload",
+        }
+    }
+
+    fn requires_shared_memory(&self) -> bool {
+        true
+    }
+
+    fn requires_clflush(&self) -> bool {
+        matches!(self.kind, ReuseKind::FlushReload | ReuseKind::FlushFlush)
+    }
+
+    fn transmit(&mut self, bits: &[bool]) -> Result<BaselineReport, Error> {
+        self.run(bits, None)
+    }
+
+    fn transmit_with_noise(
+        &mut self,
+        bits: &[bool],
+        noise: NoiseSpec,
+    ) -> Result<BaselineReport, Error> {
+        self.run(bits, Some(noise))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(seed: u64, len: usize) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn flush_reload_transmits_with_low_error() {
+        let mut channel = ReuseChannel::flush_reload(1);
+        let bits = payload(1, 96);
+        let report = channel.transmit(&bits).unwrap();
+        assert!(
+            report.bit_error_rate < 0.05,
+            "Flush+Reload BER {}",
+            report.bit_error_rate
+        );
+        assert!(channel.requires_shared_memory());
+        assert!(channel.requires_clflush());
+    }
+
+    #[test]
+    fn flush_flush_transmits_with_low_error() {
+        let mut channel = ReuseChannel::flush_flush(2);
+        let bits = payload(2, 96);
+        let report = channel.transmit(&bits).unwrap();
+        assert!(
+            report.bit_error_rate < 0.10,
+            "Flush+Flush BER {}",
+            report.bit_error_rate
+        );
+    }
+
+    #[test]
+    fn evict_reload_transmits_without_clflush() {
+        let mut channel = ReuseChannel::evict_reload(3);
+        assert!(!channel.requires_clflush());
+        let bits = payload(3, 96);
+        let report = channel.transmit(&bits).unwrap();
+        assert!(
+            report.bit_error_rate < 0.10,
+            "Evict+Reload BER {}",
+            report.bit_error_rate
+        );
+    }
+
+    #[test]
+    fn sender_accesses_track_only_one_bits() {
+        let mut channel = ReuseChannel::flush_reload(4);
+        let bits = vec![true, true, false, true, false];
+        let report = channel.transmit(&bits).unwrap();
+        assert_eq!(report.sender_accesses, 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench: the design-choice ablations called out in DESIGN.md —
+//! replacement-set size, dirty-line count, replacement policy and the
+//! alternating-replacement-set trick — measured as harness cost of one
+//! calibration batch under each variant (their *effect* on channel quality is
+//! covered by the `repro` experiments and the test suite).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_cache::policy::PolicyKind;
+use sim_core::machine::MachineConfig;
+use std::hint::black_box;
+use wb_channel::calibration::{replacement_latency_samples, CalibrationConfig};
+
+fn config(policy: PolicyKind, replacement_size: usize) -> CalibrationConfig {
+    let mut config = CalibrationConfig::new(policy, 5);
+    config.machine = MachineConfig::ideal(policy, 5);
+    config.replacement_size = replacement_size;
+    config.samples_per_level = 40;
+    config
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    // Replacement-set size L (the paper settles on 10 via Table II).
+    for l in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("replacement_set_size", l), &l, |b, &l| {
+            let config = config(PolicyKind::TreePlru, l);
+            b.iter(|| black_box(replacement_latency_samples(&config, 1).unwrap()));
+        });
+    }
+
+    // Dirty-line count d (latency separation grows ~11 cycles per line).
+    for d in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("dirty_lines", d), &d, |b, &d| {
+            let config = config(PolicyKind::TreePlru, 10);
+            b.iter(|| black_box(replacement_latency_samples(&config, d).unwrap()));
+        });
+    }
+
+    // L1 replacement policy.
+    for policy in [PolicyKind::TrueLru, PolicyKind::TreePlru, PolicyKind::IntelLike, PolicyKind::Random] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", policy.label()),
+            &policy,
+            |b, &policy| {
+                let config = config(policy, 10);
+                b.iter(|| black_box(replacement_latency_samples(&config, 3).unwrap()));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: raw simulator throughput (accesses per second) for the
+//! three hierarchy access paths the WB channel exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim_cache::prelude::*;
+use std::hint::black_box;
+
+fn bench_hierarchy_accesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(20);
+
+    group.bench_function("l1_hit_read", |b| {
+        let mut h = CacheHierarchy::xeon_e5_2650(PolicyKind::TreePlru, 1);
+        let addr = PhysAddr(0x1000);
+        h.read(addr, AccessContext::default());
+        b.iter(|| black_box(h.read(black_box(addr), AccessContext::default())));
+    });
+
+    group.bench_function("l2_hit_with_dirty_victim", |b| {
+        let mut h = CacheHierarchy::xeon_e5_2650(PolicyKind::TreePlru, 1);
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        // Alternate between two line families in one set so that every read
+        // evicts a dirty line filled by the matching store.
+        let lines: Vec<PhysAddr> = (0..16).map(|t| PhysAddr::from_set_and_tag(3, t, g)).collect();
+        for &l in &lines {
+            h.read(l, ctx);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            let line = lines[i % lines.len()];
+            h.write(line, ctx);
+            i += 1;
+            black_box(h.read(lines[(i * 7) % lines.len()], ctx))
+        });
+    });
+
+    group.bench_function("full_set_sweep", |b| {
+        let mut h = CacheHierarchy::xeon_e5_2650(PolicyKind::TreePlru, 1);
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        let sweep: Vec<PhysAddr> = (0..10).map(|t| PhysAddr::from_set_and_tag(9, 100 + t, g)).collect();
+        for &l in &sweep {
+            h.read(l, ctx);
+        }
+        b.iter(|| {
+            let mut total = 0u64;
+            for &l in &sweep {
+                total += h.read(l, ctx).cycles;
+            }
+            black_box(total)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_accesses);
+criterion_main!(benches);

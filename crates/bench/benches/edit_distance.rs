@@ -1,0 +1,33 @@
+//! Criterion bench: Wagner-Fischer edit distance on frame-sized bit
+//! sequences — the post-processing cost of the paper's error metric.
+
+use analysis::edit_distance::{edit_distance, error_breakdown};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bit_pattern(len: usize, seed: u64) -> Vec<bool> {
+    (0..len).map(|i| (i as u64).wrapping_mul(seed) % 7 < 3).collect()
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edit_distance");
+    group.sample_size(30);
+    for len in [128usize, 256, 1024] {
+        let sent = bit_pattern(len, 11);
+        let mut received = sent.clone();
+        for i in (0..len).step_by(17) {
+            received[i] = !received[i];
+        }
+        received.truncate(len - len / 50 - 1);
+        group.bench_with_input(BenchmarkId::new("distance", len), &len, |b, _| {
+            b.iter(|| black_box(edit_distance(&sent, &received)));
+        });
+        group.bench_with_input(BenchmarkId::new("breakdown", len), &len, |b, _| {
+            b.iter(|| black_box(error_breakdown(&sent, &received)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit_distance);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: replacement-policy update and victim-selection cost for
+//! every implemented policy (the hot path of the cache simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_cache::policy::PolicyKind;
+use sim_cache::waymask::WayMask;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_update");
+    group.sample_size(20);
+    let kinds = [
+        PolicyKind::TrueLru,
+        PolicyKind::TreePlru,
+        PolicyKind::Random,
+        PolicyKind::IntelLike,
+        PolicyKind::Fifo,
+        PolicyKind::Nru,
+        PolicyKind::Srrip,
+    ];
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::new("fill_victim_cycle", kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut policy = kind.build(64, 8, 99).unwrap();
+                let all = WayMask::all(8);
+                let mut set = 0usize;
+                b.iter(|| {
+                    set = (set + 1) % 64;
+                    let victim = policy.choose_victim(set, all).unwrap();
+                    policy.on_fill(set, victim);
+                    policy.on_hit(set, (victim + 1) % 8);
+                    black_box(victim)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

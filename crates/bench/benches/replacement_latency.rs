@@ -1,0 +1,40 @@
+//! Criterion bench: the Figure 4 / Table IV measurement loops — how long it
+//! takes the harness to collect one replacement-latency sample per dirty-line
+//! count, and the latency-class calibration (Table IV).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sim_cache::policy::PolicyKind;
+use sim_core::machine::MachineConfig;
+use std::hint::black_box;
+use wb_channel::calibration::{
+    access_latency_classes, replacement_latency_samples, CalibrationConfig,
+};
+
+fn quick_config(samples: usize) -> CalibrationConfig {
+    let mut config = CalibrationConfig::new(PolicyKind::TreePlru, 42);
+    config.machine = MachineConfig::ideal(PolicyKind::TreePlru, 42);
+    config.samples_per_level = samples;
+    config
+}
+
+fn bench_replacement_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_latency");
+    group.sample_size(10);
+
+    for d in [0usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("figure4_samples", d), &d, |b, &d| {
+            let config = quick_config(50);
+            b.iter(|| black_box(replacement_latency_samples(&config, d).unwrap()));
+        });
+    }
+
+    group.bench_function("table4_latency_classes", |b| {
+        let config = quick_config(30);
+        b.iter(|| black_box(access_latency_classes(&config).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replacement_latency);
+criterion_main!(benches);

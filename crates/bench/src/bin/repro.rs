@@ -1,0 +1,136 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! Usage: repro [--quick|--full] [--out DIR] <experiment>...
+//!
+//! Experiments:
+//!   table2 table4 table5 table6 table7
+//!   fig4 fig5 fig6 fig7 fig8
+//!   bandwidth defenses sidechannel all
+//! ```
+//!
+//! Each experiment prints its result table and writes Markdown/CSV/JSON
+//! copies under the output directory (default `results/`).
+
+use analysis::table::Table;
+use bench::Scale;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick|--full] [--out DIR] <experiment>...\n\
+         experiments: table2 table4 table5 table6 table7 fig4 fig5 fig6 fig7 fig8 \
+         bandwidth defenses sidechannel all"
+    );
+    std::process::exit(2);
+}
+
+fn write(table: &Table, out_dir: &Path, stem: &str) {
+    println!("{table}");
+    let path = out_dir.join(stem);
+    if let Err(error) = table.write_all_formats(&path) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("  -> {}.{{md,csv,json}}\n", path.display());
+    }
+}
+
+fn run_experiment(name: &str, scale: Scale, out_dir: &Path) -> Result<(), wb_channel::Error> {
+    match name {
+        "table2" => write(&bench::experiment_table2(scale)?, out_dir, "table2"),
+        "table4" => write(&bench::experiment_table4(scale)?, out_dir, "table4"),
+        "table5" => write(&bench::experiment_table5(scale)?, out_dir, "table5"),
+        "table6" => write(&bench::experiment_table6(scale)?, out_dir, "table6"),
+        "table7" => write(&bench::experiment_table7(scale)?, out_dir, "table7"),
+        "fig4" => {
+            let (table, cdfs) = bench::experiment_fig4(scale)?;
+            write(&table, out_dir, "fig4");
+            // Also dump the raw CDFs for plotting.
+            let mut raw = Table::new("Figure 4 raw CDFs", &["d", "latency", "fraction"]);
+            for (d, cdf) in &cdfs {
+                for point in &cdf.points {
+                    raw.push_row([
+                        d.to_string(),
+                        format!("{:.0}", point.value),
+                        format!("{:.4}", point.fraction),
+                    ]);
+                }
+            }
+            write(&raw, out_dir, "fig4_cdf_points");
+        }
+        "fig5" | "fig7" => write(&bench::experiment_traces(scale)?, out_dir, "fig5_fig7"),
+        "fig6" => {
+            let ds: Vec<usize> = match scale {
+                Scale::Quick => vec![1, 4, 8],
+                Scale::Full => vec![1, 2, 3, 4, 5, 6, 7, 8],
+            };
+            write(&bench::experiment_error_rates(scale, &ds)?, out_dir, "fig6")
+        }
+        "fig8" => write(&bench::experiment_fig8(scale)?, out_dir, "fig8"),
+        "bandwidth" => write(
+            &bench::experiment_bandwidth_summary(scale)?,
+            out_dir,
+            "bandwidth",
+        ),
+        "defenses" => write(&bench::experiment_defenses(scale)?, out_dir, "defenses"),
+        "sidechannel" => write(
+            &bench::experiment_side_channel(scale)?,
+            out_dir,
+            "sidechannel",
+        ),
+        "all" => {
+            for experiment in [
+                "table2",
+                "table4",
+                "fig4",
+                "fig5",
+                "fig6",
+                "table5",
+                "table6",
+                "table7",
+                "fig8",
+                "bandwidth",
+                "defenses",
+                "sidechannel",
+            ] {
+                run_experiment(experiment, scale, out_dir)?;
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut out_dir = PathBuf::from("results");
+    let mut experiments = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            name => experiments.push(name.to_owned()),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    for experiment in &experiments {
+        if let Err(error) = run_experiment(experiment, scale, &out_dir) {
+            eprintln!("experiment {experiment} failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

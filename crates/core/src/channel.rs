@@ -1,0 +1,599 @@
+//! End-to-end covert-channel orchestration.
+//!
+//! [`CovertChannel`] wires a [`crate::sender::WbSender`] and a
+//! [`crate::receiver::WbReceiver`] onto the two hardware threads of a
+//! simulated [`sim_core::machine::Machine`], runs the transmission, decodes
+//! the receiver's latency trace with calibrated thresholds and scores the
+//! result with the edit distance — the full pipeline behind the paper's
+//! Figures 5–7 and the bandwidth/error-rate numbers of Section V.
+
+use crate::calibration::{calibrate_decoder, CalibrationConfig};
+use crate::capacity::{rate_kbps, RatePoint};
+use crate::encoding::SymbolEncoding;
+use crate::error::Error;
+use crate::protocol::{align_and_score, Decoder, Frame};
+use crate::receiver::WbReceiver;
+use crate::sender::WbSender;
+use analysis::edit_distance::ErrorBreakdown;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sim_cache::policy::PolicyKind;
+use sim_core::machine::{Machine, MachineConfig};
+use sim_core::memlayout::{ChannelLayout, SetLines};
+use sim_core::noise::NoisyNeighbor;
+use sim_core::process::{AddressSpace, ProcessId};
+use sim_core::program::Actor;
+use sim_core::sched::InterruptConfig;
+use sim_core::tsc::TscConfig;
+
+/// Domains of the two covert-channel parties and the optional noise process.
+const RECEIVER_DOMAIN: u16 = 1;
+const SENDER_DOMAIN: u16 = 2;
+const NOISE_DOMAIN: u16 = 3;
+
+/// Configuration of a noisy-neighbour process running alongside the channel
+/// (Sec. VI / Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Cycles between noise accesses to the target set.
+    pub interval: u64,
+    /// Number of distinct noisy lines cycled through.
+    pub lines: usize,
+    /// Fraction of noise accesses that are stores.
+    pub store_fraction: f64,
+}
+
+impl NoiseConfig {
+    /// A single clean noisy cache line touched every `interval` cycles — the
+    /// scenario of Figure 8.
+    pub fn single_clean_line(interval: u64) -> NoiseConfig {
+        NoiseConfig {
+            interval,
+            lines: 1,
+            store_fraction: 0.0,
+        }
+    }
+}
+
+/// Channel configuration (builder-constructed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Symbol encoding.
+    pub encoding: SymbolEncoding,
+    /// Sending period `Ts` = sampling period `Tr`, in cycles.
+    pub period_cycles: u64,
+    /// The L1 set used as the target set.
+    pub target_set: usize,
+    /// Replacement-set size (10 on the paper's machine).
+    pub replacement_size: usize,
+    /// L1 replacement policy of the simulated machine.
+    pub policy: PolicyKind,
+    /// OS interruption noise profile.
+    pub interrupts: InterruptConfig,
+    /// Measurement (rdtscp) noise profile.
+    pub tsc: TscConfig,
+    /// Optional noisy-neighbour process.
+    pub noise: Option<NoiseConfig>,
+    /// Calibration sample count per symbol level.
+    pub calibration_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ChannelConfig {
+    /// Starts building a configuration with the paper's defaults.
+    pub fn builder() -> ChannelConfigBuilder {
+        ChannelConfigBuilder::new()
+    }
+
+    fn machine_config(&self, seed: u64) -> MachineConfig {
+        let mut machine = MachineConfig::xeon_e5_2650(self.policy, seed);
+        machine.interrupts = self.interrupts;
+        machine.tsc = self.tsc;
+        machine
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::builder().build().expect("defaults are valid")
+    }
+}
+
+/// Builder for [`ChannelConfig`].
+#[derive(Debug, Clone)]
+pub struct ChannelConfigBuilder {
+    encoding: SymbolEncoding,
+    period_cycles: u64,
+    target_set: usize,
+    replacement_size: usize,
+    policy: PolicyKind,
+    interrupts: InterruptConfig,
+    tsc: TscConfig,
+    noise: Option<NoiseConfig>,
+    calibration_samples: usize,
+    seed: u64,
+}
+
+impl ChannelConfigBuilder {
+    /// Creates a builder with the paper's defaults: binary symbols with one
+    /// dirty line, `Ts = Tr = 5500` cycles (400 kbps), target set 21,
+    /// replacement sets of 10 lines, Tree-PLRU, quiet pinned-core noise.
+    pub fn new() -> ChannelConfigBuilder {
+        ChannelConfigBuilder {
+            encoding: SymbolEncoding::Binary { dirty_lines: 1 },
+            period_cycles: 5_500,
+            target_set: 21,
+            replacement_size: 10,
+            policy: PolicyKind::TreePlru,
+            interrupts: InterruptConfig::pinned_quiet(),
+            tsc: TscConfig::xeon_e5_2650(),
+            noise: None,
+            calibration_samples: 120,
+            seed: 1,
+        }
+    }
+
+    /// Sets the symbol encoding.
+    pub fn encoding(&mut self, encoding: SymbolEncoding) -> &mut Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets `Ts = Tr` in cycles.
+    pub fn period_cycles(&mut self, period: u64) -> &mut Self {
+        self.period_cycles = period;
+        self
+    }
+
+    /// Sets the target set index.
+    pub fn target_set(&mut self, set: usize) -> &mut Self {
+        self.target_set = set;
+        self
+    }
+
+    /// Sets the replacement-set size.
+    pub fn replacement_size(&mut self, size: usize) -> &mut Self {
+        self.replacement_size = size;
+        self
+    }
+
+    /// Sets the L1 replacement policy.
+    pub fn policy(&mut self, policy: PolicyKind) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the OS interruption profile.
+    pub fn interrupts(&mut self, interrupts: InterruptConfig) -> &mut Self {
+        self.interrupts = interrupts;
+        self
+    }
+
+    /// Sets the measurement-noise profile.
+    pub fn tsc(&mut self, tsc: TscConfig) -> &mut Self {
+        self.tsc = tsc;
+        self
+    }
+
+    /// Adds a noisy-neighbour process.
+    pub fn noise(&mut self, noise: NoiseConfig) -> &mut Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Sets the number of calibration samples per symbol level.
+    pub fn calibration_samples(&mut self, samples: usize) -> &mut Self {
+        self.calibration_samples = samples;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for a zero period, an out-of-range
+    /// target set or a replacement set smaller than the associativity.
+    pub fn build(&self) -> Result<ChannelConfig, Error> {
+        if self.period_cycles == 0 {
+            return Err(Error::InvalidConfig {
+                field: "period_cycles",
+                reason: "must be non-zero".into(),
+            });
+        }
+        if self.target_set >= 64 {
+            return Err(Error::InvalidConfig {
+                field: "target_set",
+                reason: format!("the 32 KiB L1 has 64 sets, got set {}", self.target_set),
+            });
+        }
+        if self.replacement_size < 8 {
+            return Err(Error::InvalidConfig {
+                field: "replacement_size",
+                reason: "replacement sets need at least W = 8 lines".into(),
+            });
+        }
+        Ok(ChannelConfig {
+            encoding: self.encoding.clone(),
+            period_cycles: self.period_cycles,
+            target_set: self.target_set,
+            replacement_size: self.replacement_size,
+            policy: self.policy,
+            interrupts: self.interrupts,
+            tsc: self.tsc,
+            noise: self.noise,
+            calibration_samples: self.calibration_samples,
+            seed: self.seed,
+        })
+    }
+}
+
+impl Default for ChannelConfigBuilder {
+    fn default() -> Self {
+        ChannelConfigBuilder::new()
+    }
+}
+
+/// Report of one frame transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionReport {
+    /// The bits that were transmitted (preamble included).
+    pub sent_bits: Vec<bool>,
+    /// The bits the receiver decoded (aligned to the frame start).
+    pub received_bits: Vec<bool>,
+    /// The raw latency samples observed by the receiver.
+    pub latencies: Vec<u64>,
+    /// Offset at which the preamble was found in the decoded stream.
+    pub alignment_offset: usize,
+    /// Edit distance between sent and received bits.
+    pub edit_distance: usize,
+    /// Per-error-type breakdown.
+    pub breakdown: ErrorBreakdown,
+    /// Bit error rate (edit distance / sent bits).
+    bit_error_rate: f64,
+    /// Achieved transmission rate in kbps.
+    pub rate_kbps: f64,
+}
+
+impl TransmissionReport {
+    /// The bit error rate of this transmission, in `[0, 1]`.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.bit_error_rate
+    }
+}
+
+/// Aggregate report of a multi-frame evaluation (one point of Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Number of frames transmitted.
+    pub frames: usize,
+    /// Bits per frame.
+    pub bits_per_frame: usize,
+    /// Mean bit error rate over all frames.
+    pub mean_bit_error_rate: f64,
+    /// Worst single-frame bit error rate.
+    pub max_bit_error_rate: f64,
+    /// Transmission rate in kbps.
+    pub rate_kbps: f64,
+    /// The corresponding rate/error point.
+    pub rate_point: RatePoint,
+}
+
+/// The end-to-end WB covert channel.
+#[derive(Debug)]
+pub struct CovertChannel {
+    config: ChannelConfig,
+    decoder: Decoder,
+    rng: StdRng,
+    frames_sent: u64,
+}
+
+impl CovertChannel {
+    /// Builds the channel and calibrates the receiver's decision thresholds
+    /// on a machine identical to the one the transmission will use.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or calibration errors.
+    pub fn new(config: ChannelConfig) -> Result<CovertChannel, Error> {
+        let calibration = CalibrationConfig {
+            machine: config.machine_config(config.seed ^ 0xca11),
+            target_set: config.target_set,
+            replacement_size: config.replacement_size,
+            samples_per_level: config.calibration_samples,
+            seed: config.seed ^ 0xca11,
+        };
+        let decoder = calibrate_decoder(&calibration, &config.encoding)?;
+        Ok(CovertChannel {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xc0de),
+            decoder,
+            config,
+            frames_sent: 0,
+        })
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// The calibrated decoder.
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// Transmits an arbitrary payload (the 16-bit preamble is prepended) and
+    /// reports the outcome scored over the whole frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn transmit_bits(&mut self, payload: &[bool]) -> Result<TransmissionReport, Error> {
+        let frame = Frame::from_payload(payload);
+        self.transmit_frame(&frame)
+    }
+
+    /// Transmits one frame and reports the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn transmit_frame(&mut self, frame: &Frame) -> Result<TransmissionReport, Error> {
+        self.frames_sent += 1;
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(self.frames_sent);
+        let mut machine = Machine::new(self.config.machine_config(seed))?;
+        let geometry = machine.l1_geometry();
+
+        let receiver_layout = ChannelLayout::build(
+            AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+            geometry,
+            self.config.target_set,
+            geometry.associativity,
+            self.config.replacement_size,
+        );
+        let sender_lines = SetLines::build(
+            AddressSpace::new(ProcessId(SENDER_DOMAIN)),
+            geometry,
+            self.config.target_set,
+            geometry.associativity,
+            0,
+        );
+
+        let symbols = self.config.encoding.bits_to_symbols(frame.bits());
+        let symbol_count = symbols.len();
+        // Rendezvous time agreed by both parties: generously after the
+        // receiver's initialisation phase (28 cold loads) has finished.
+        let epoch = 50_000u64;
+        let mut sender = WbSender::new(
+            SENDER_DOMAIN,
+            sender_lines,
+            self.config.encoding.clone(),
+            symbols,
+            self.config.period_cycles,
+        )
+        .with_start_epoch(epoch);
+        // A few extra samples so that losses at the end can still be seen.
+        let max_samples = symbol_count + 4;
+        let mut receiver = WbReceiver::with_default_phase(
+            RECEIVER_DOMAIN,
+            receiver_layout,
+            self.config.period_cycles,
+            max_samples,
+            seed,
+        )
+        .with_start_epoch(epoch);
+
+        let limit = epoch + (max_samples as u64 + 8) * self.config.period_cycles + 200_000;
+        let mut noise_actor = self.config.noise.map(|n| {
+            NoisyNeighbor::new(
+                AddressSpace::new(ProcessId(NOISE_DOMAIN)),
+                geometry,
+                self.config.target_set,
+                n.lines,
+                n.interval,
+                n.store_fraction,
+                NOISE_DOMAIN,
+                seed ^ 0x6e6f,
+            )
+        });
+
+        {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut sender, &mut receiver];
+            if let Some(noise) = noise_actor.as_mut() {
+                actors.push(noise);
+            }
+            machine.run(&mut actors, limit);
+        }
+
+        let latencies = receiver.latencies();
+        let decoded = self.decoder.bits(&latencies);
+        let max_shift = 4 * self.config.encoding.bits_per_symbol();
+        let alignment = align_and_score(frame.bits(), &decoded, max_shift);
+
+        Ok(TransmissionReport {
+            sent_bits: frame.bits().to_vec(),
+            received_bits: alignment.aligned_bits,
+            latencies,
+            alignment_offset: alignment.offset,
+            edit_distance: alignment.edit_distance,
+            breakdown: alignment.breakdown,
+            bit_error_rate: alignment.bit_error_rate,
+            rate_kbps: rate_kbps(
+                self.config.encoding.bits_per_symbol(),
+                self.config.period_cycles,
+                2.2,
+            ),
+        })
+    }
+
+    /// Transmits `frames` random frames of `bits_per_frame` bits each and
+    /// aggregates the error statistics (one point of the paper's Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn evaluate(
+        &mut self,
+        frames: usize,
+        bits_per_frame: usize,
+    ) -> Result<EvaluationReport, Error> {
+        let mut total_ber = 0.0;
+        let mut max_ber: f64 = 0.0;
+        for _ in 0..frames {
+            let frame = Frame::random(bits_per_frame, &mut self.rng);
+            let report = self.transmit_frame(&frame)?;
+            total_ber += report.bit_error_rate();
+            max_ber = max_ber.max(report.bit_error_rate());
+        }
+        let mean = if frames == 0 { 0.0 } else { total_ber / frames as f64 };
+        let rate = rate_kbps(
+            self.config.encoding.bits_per_symbol(),
+            self.config.period_cycles,
+            2.2,
+        );
+        Ok(EvaluationReport {
+            frames,
+            bits_per_frame,
+            mean_bit_error_rate: mean,
+            max_bit_error_rate: max_ber,
+            rate_kbps: rate,
+            rate_point: RatePoint {
+                period_cycles: self.config.period_cycles,
+                rate_kbps: rate,
+                bit_error_rate: mean,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_config(encoding: SymbolEncoding, period: u64) -> ChannelConfig {
+        ChannelConfig::builder()
+            .encoding(encoding)
+            .period_cycles(period)
+            .interrupts(InterruptConfig::none())
+            .tsc(TscConfig::ideal())
+            .calibration_samples(60)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_inputs() {
+        assert!(ChannelConfig::builder().period_cycles(0).build().is_err());
+        assert!(ChannelConfig::builder().target_set(64).build().is_err());
+        assert!(ChannelConfig::builder().replacement_size(4).build().is_err());
+        let config = ChannelConfig::default();
+        assert_eq!(config.period_cycles, 5_500);
+        assert_eq!(config.replacement_size, 10);
+    }
+
+    #[test]
+    fn noiseless_binary_transmission_is_error_free() {
+        let config = quiet_config(SymbolEncoding::binary(1).unwrap(), 5_500);
+        let mut channel = CovertChannel::new(config).unwrap();
+        let payload: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+        let report = channel.transmit_bits(&payload).unwrap();
+        assert_eq!(
+            report.edit_distance, 0,
+            "noiseless channel must be exact: sent {:?} got {:?} (latencies {:?})",
+            report.sent_bits, report.received_bits, report.latencies
+        );
+        assert_eq!(report.bit_error_rate(), 0.0);
+        assert!((report.rate_kbps - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_multibit_transmission_is_error_free() {
+        let config = quiet_config(SymbolEncoding::paper_two_bit(), 4_000);
+        let mut channel = CovertChannel::new(config).unwrap();
+        let payload: Vec<bool> = (0..64).map(|i| (i * 7) % 5 < 2).collect();
+        let report = channel.transmit_bits(&payload).unwrap();
+        assert_eq!(report.edit_distance, 0, "latencies: {:?}", report.latencies);
+        assert!((report.rate_kbps - 1_100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_d_raises_received_latencies_for_ones() {
+        let config_d1 = quiet_config(SymbolEncoding::binary(1).unwrap(), 5_500);
+        let config_d8 = quiet_config(SymbolEncoding::binary(8).unwrap(), 5_500);
+        let mut ch1 = CovertChannel::new(config_d1).unwrap();
+        let mut ch8 = CovertChannel::new(config_d8).unwrap();
+        let payload = vec![true; 32];
+        let r1 = ch1.transmit_bits(&payload).unwrap();
+        let r8 = ch8.transmit_bits(&payload).unwrap();
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        // Skip the preamble region (it contains zeros in both runs).
+        assert!(
+            mean(&r8.latencies[20..]) > mean(&r1.latencies[20..]) + 40.0,
+            "d=8 should be ~77 cycles slower than d=1"
+        );
+    }
+
+    #[test]
+    fn realistic_noise_keeps_error_rate_low_at_400_kbps() {
+        // The paper's Figure 6: at 400 kbps every d has a very low error rate.
+        let config = ChannelConfig::builder()
+            .encoding(SymbolEncoding::binary(4).unwrap())
+            .period_cycles(5_500)
+            .calibration_samples(80)
+            .seed(5)
+            .build()
+            .unwrap();
+        let mut channel = CovertChannel::new(config).unwrap();
+        let report = channel.evaluate(6, 128).unwrap();
+        assert!(
+            report.mean_bit_error_rate < 0.08,
+            "BER at 400 kbps should be small, got {}",
+            report.mean_bit_error_rate
+        );
+        assert_eq!(report.frames, 6);
+        assert!(report.rate_point.goodput_kbps() > 300.0);
+    }
+
+    #[test]
+    fn evaluation_report_scales_rate_with_period() {
+        let config = quiet_config(SymbolEncoding::binary(2).unwrap(), 1_600);
+        let mut channel = CovertChannel::new(config).unwrap();
+        let report = channel.evaluate(2, 64).unwrap();
+        assert!((report.rate_kbps - 1_375.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_neighbor_does_not_break_the_wb_channel() {
+        // Figure 8(b): a clean noisy cache line does not disturb WB decoding.
+        let mut builder = ChannelConfig::builder();
+        builder
+            .encoding(SymbolEncoding::binary(1).unwrap())
+            .period_cycles(5_500)
+            .interrupts(InterruptConfig::none())
+            .tsc(TscConfig::ideal())
+            .calibration_samples(60)
+            .noise(NoiseConfig::single_clean_line(2_000))
+            .seed(3);
+        let config = builder.build().unwrap();
+        let mut channel = CovertChannel::new(config).unwrap();
+        let payload: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        let report = channel.transmit_bits(&payload).unwrap();
+        assert!(
+            report.bit_error_rate() < 0.05,
+            "clean noise lines must not disturb the WB channel, BER = {}",
+            report.bit_error_rate()
+        );
+    }
+}

@@ -1,0 +1,316 @@
+//! Replacement-policy eviction experiments (Tables II and V).
+//!
+//! The WB receiver must be sure that accessing its replacement set actually
+//! evicts the sender's dirty lines.  The paper quantifies this in two
+//! experiments:
+//!
+//! * **Table II** — the probability that a just-touched line ("line 0") is
+//!   evicted after filling `N` new lines, for true LRU, Tree-PLRU (gem5) and
+//!   the real Xeon E5-2650 (our `IntelLike` approximation).  The result — 10
+//!   lines always suffice — fixes the replacement-set size.
+//! * **Table V** — under a *random* replacement policy, the probability that
+//!   at least one of `d` dirty lines is evicted by a replacement set of `L`
+//!   lines, compared against the closed form `p = 1 − ((W − d)/W)^L`.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use sim_cache::addr::PhysAddr;
+use sim_cache::cache::{AccessContext, Cache};
+use sim_cache::config::CacheConfig;
+use sim_cache::policy::PolicyKind;
+
+/// One row/cell of the Table II experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvictionProbability {
+    /// Replacement policy evaluated.
+    pub policy: PolicyKind,
+    /// Size of the replacement set (the paper's `N`).
+    pub replacement_set_size: usize,
+    /// Fraction of trials in which line 0 was evicted.
+    pub probability: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// Runs the Table II experiment for one policy and one replacement-set size:
+/// a warm 8-way set, "line 0" touched last, then `n` new lines filled; the
+/// result is the fraction of `trials` in which line 0 was evicted.
+///
+/// # Errors
+///
+/// Propagates cache-construction errors (e.g. a policy that cannot handle the
+/// associativity).
+pub fn line0_eviction_probability(
+    policy: PolicyKind,
+    n: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<EvictionProbability, Error> {
+    let geometry = CacheConfig::xeon_l1d(policy).geometry;
+    let set = 5usize;
+    let ctx = AccessContext::default();
+    let mut evicted = 0usize;
+    for trial in 0..trials {
+        let mut cache = Cache::new(
+            CacheConfig::xeon_l1d(policy),
+            seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9),
+        )?;
+        // Warm state: the set already holds unrelated lines, touched in a
+        // trial-dependent order.
+        for i in 0..geometry.associativity {
+            let tag = 100 + ((i * 5 + trial) % geometry.associativity) as u64;
+            let addr = PhysAddr::from_set_and_tag(set, tag, geometry);
+            cache.fill(addr, ctx, false, false);
+        }
+        // Line 0 is accessed (the access sequence of Sec. IV-A starts with it).
+        let line0 = PhysAddr::from_set_and_tag(set, 0, geometry);
+        cache.fill(line0, ctx, false, false);
+        // Fill `n` new replacement lines.
+        for i in 0..n {
+            let addr = PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry);
+            cache.fill(addr, ctx, false, false);
+        }
+        if !cache.contains(line0) {
+            evicted += 1;
+        }
+    }
+    Ok(EvictionProbability {
+        policy,
+        replacement_set_size: n,
+        probability: evicted as f64 / trials.max(1) as f64,
+        trials,
+    })
+}
+
+/// Runs the full Table II grid.
+///
+/// # Errors
+///
+/// Propagates errors from [`line0_eviction_probability`].
+pub fn table_ii(
+    policies: &[PolicyKind],
+    sizes: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<EvictionProbability>, Error> {
+    let mut results = Vec::with_capacity(policies.len() * sizes.len());
+    for &policy in policies {
+        for &n in sizes {
+            results.push(line0_eviction_probability(policy, n, trials, seed)?);
+        }
+    }
+    Ok(results)
+}
+
+/// One cell of the Table V experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirtyEvictionProbability {
+    /// Number of dirty lines in the target set.
+    pub dirty_lines: usize,
+    /// Size of the replacement set.
+    pub replacement_set_size: usize,
+    /// Measured probability that at least one dirty line was evicted.
+    pub measured: f64,
+    /// The paper's closed-form prediction `1 − ((W − d)/W)^L`.
+    pub analytic: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+/// The closed-form probability of Table V.
+pub fn analytic_dirty_eviction_probability(ways: usize, d: usize, l: usize) -> f64 {
+    if d == 0 || ways == 0 {
+        return 0.0;
+    }
+    if d >= ways {
+        return 1.0;
+    }
+    1.0 - ((ways - d) as f64 / ways as f64).powi(l as i32)
+}
+
+/// Measures the probability that a replacement set of `l` lines evicts at
+/// least one of `d` dirty lines under a pseudo-random replacement policy
+/// (Table V).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidConfig`] if `d` exceeds the associativity.
+pub fn random_replacement_dirty_eviction(
+    d: usize,
+    l: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<DirtyEvictionProbability, Error> {
+    let config = CacheConfig::xeon_l1d(PolicyKind::Random);
+    let geometry = config.geometry;
+    if d > geometry.associativity {
+        return Err(Error::InvalidConfig {
+            field: "d",
+            reason: format!(
+                "cannot place {d} dirty lines in a {}-way set",
+                geometry.associativity
+            ),
+        });
+    }
+    let set = 9usize;
+    let sender = AccessContext::for_domain(2);
+    let receiver = AccessContext::for_domain(1);
+    let mut hits = 0usize;
+    for trial in 0..trials {
+        let mut cache = Cache::new(config, seed.wrapping_add(trial as u64 * 7919))?;
+        // Fill the set with clean receiver lines first (a freshly initialised
+        // target set), then the sender dirties d of its own lines.  The paper
+        // accesses the dirty lines "in a loop to ensure they are in the
+        // target set".
+        for i in 0..geometry.associativity {
+            let addr = PhysAddr::from_set_and_tag(set, 500 + i as u64, geometry);
+            cache.fill(addr, receiver, false, false);
+        }
+        let dirty_lines: Vec<PhysAddr> = (0..d)
+            .map(|i| PhysAddr::from_set_and_tag(set, i as u64, geometry))
+            .collect();
+        // Under random replacement, installing one dirty line can evict
+        // another, so (like the paper) the sender accesses its dirty lines
+        // in a loop until all of them are resident simultaneously.
+        for _pass in 0..256 {
+            let missing: Vec<PhysAddr> = dirty_lines
+                .iter()
+                .copied()
+                .filter(|&line| !cache.is_dirty(line))
+                .collect();
+            if missing.is_empty() {
+                break;
+            }
+            for line in missing {
+                cache.fill(line, sender, true, false);
+            }
+        }
+        // The receiver accesses its replacement set of l lines.
+        for i in 0..l {
+            let addr = PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry);
+            cache.fill(addr, receiver, false, false);
+        }
+        // At least one dirty line replaced?
+        if cache.dirty_count_in_set(set) < d {
+            hits += 1;
+        }
+    }
+    Ok(DirtyEvictionProbability {
+        dirty_lines: d,
+        replacement_set_size: l,
+        measured: hits as f64 / trials.max(1) as f64,
+        analytic: analytic_dirty_eviction_probability(geometry.associativity, d, l),
+        trials,
+    })
+}
+
+/// Runs the full Table V grid.
+///
+/// # Errors
+///
+/// Propagates errors from [`random_replacement_dirty_eviction`].
+pub fn table_v(
+    dirty_counts: &[usize],
+    replacement_sizes: &[usize],
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<DirtyEvictionProbability>, Error> {
+    let mut results = Vec::new();
+    for &d in dirty_counts {
+        for &l in replacement_sizes {
+            results.push(random_replacement_dirty_eviction(d, l, trials, seed)?);
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_lru_needs_exactly_eight_lines() {
+        let p8 = line0_eviction_probability(PolicyKind::TrueLru, 8, 200, 1).unwrap();
+        let p7 = line0_eviction_probability(PolicyKind::TrueLru, 7, 200, 1).unwrap();
+        assert_eq!(p8.probability, 1.0, "LRU: 8 fills always evict (Table II)");
+        assert_eq!(p7.probability, 0.0, "LRU: 7 fills never evict the MRU-protected line");
+    }
+
+    #[test]
+    fn tree_plru_reaches_certainty_at_nine_lines() {
+        let p8 = line0_eviction_probability(PolicyKind::TreePlru, 8, 400, 3).unwrap();
+        let p9 = line0_eviction_probability(PolicyKind::TreePlru, 9, 400, 3).unwrap();
+        assert!(p8.probability > 0.7, "PLRU at N=8 is usually but not always enough");
+        assert_eq!(p9.probability, 1.0, "PLRU: 9 fills always evict (Table II)");
+    }
+
+    #[test]
+    fn intel_like_reaches_certainty_at_ten_lines() {
+        let p8 = line0_eviction_probability(PolicyKind::IntelLike, 8, 400, 5).unwrap();
+        let p9 = line0_eviction_probability(PolicyKind::IntelLike, 9, 400, 5).unwrap();
+        let p10 = line0_eviction_probability(PolicyKind::IntelLike, 10, 400, 5).unwrap();
+        assert!(p8.probability < 0.95, "Intel-like at N=8 is unreliable (68.8% in the paper)");
+        assert!(p9.probability > p8.probability);
+        assert_eq!(p10.probability, 1.0, "Intel-like: 10 fills always evict (Table II)");
+    }
+
+    #[test]
+    fn table_ii_grid_has_all_cells() {
+        let rows = table_ii(&PolicyKind::TABLE_II, &[8, 9, 10], 50, 2).unwrap();
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.probability)));
+    }
+
+    #[test]
+    fn analytic_formula_matches_the_papers_examples() {
+        // Sec. VI-A: "the probability is approximately equal to 99.1% when
+        // d = 3 and L = 10".
+        let p = analytic_dirty_eviction_probability(8, 3, 10);
+        assert!((p - 0.991).abs() < 0.002, "got {p}");
+        // Table V, d = 2, L = 8: 1 - (6/8)^8 = 0.8999 analytically; the
+        // paper's measured value is 63.6% because gem5's pseudo-random policy
+        // is not ideal.  Our LFSR policy tracks the analytic value.
+        assert!(analytic_dirty_eviction_probability(8, 2, 8) > 0.85);
+        assert_eq!(analytic_dirty_eviction_probability(8, 0, 10), 0.0);
+        assert_eq!(analytic_dirty_eviction_probability(8, 8, 1), 1.0);
+    }
+
+    #[test]
+    fn measured_random_replacement_tracks_the_analytic_curve() {
+        for (d, l) in [(2usize, 10usize), (3, 10), (3, 13)] {
+            let cell = random_replacement_dirty_eviction(d, l, 1_500, 7).unwrap();
+            assert!(
+                (cell.measured - cell.analytic).abs() < 0.06,
+                "d={d} L={l}: measured {} vs analytic {}",
+                cell.measured,
+                cell.analytic
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_probability_increases_with_d_and_l() {
+        let grid = table_v(&[2, 3], &[8, 10, 12], 800, 11).unwrap();
+        assert_eq!(grid.len(), 6);
+        // Fix d = 2: probability grows with L.
+        let d2: Vec<f64> = grid
+            .iter()
+            .filter(|c| c.dirty_lines == 2)
+            .map(|c| c.measured)
+            .collect();
+        assert!(d2.windows(2).all(|w| w[1] >= w[0] - 0.03));
+        // Fix L = 10: d = 3 beats d = 2.
+        let at = |d: usize, l: usize| {
+            grid.iter()
+                .find(|c| c.dirty_lines == d && c.replacement_set_size == l)
+                .unwrap()
+                .measured
+        };
+        assert!(at(3, 10) > at(2, 10));
+    }
+
+    #[test]
+    fn invalid_dirty_count_is_rejected() {
+        assert!(random_replacement_dirty_eviction(9, 10, 10, 0).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! # wb-channel
+//!
+//! The primary contribution of *Abusing Cache Line Dirty States to Leak
+//! Information in Commercial Processors* (Cui, Yang, Cheng — HPCA 2022),
+//! reproduced end-to-end on the `sim-cache` / `sim-core` substrate: a
+//! **Miss+Miss covert channel** that encodes information in the number of
+//! dirty cache lines of one L1 target set and decodes it from the latency of
+//! replacing that set.
+//!
+//! ## Module map
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`encoding`] | Algorithm 1's binary and multi-bit symbol encodings |
+//! | [`sender`] | Algorithm 1 + the sender half of Algorithm 3 |
+//! | [`receiver`] | Algorithm 2 + the receiver half of Algorithm 3 |
+//! | [`protocol`] | framing, 16-bit preamble, latency decoding, edit-distance scoring |
+//! | [`channel`] | end-to-end transmissions (Figures 5–7, Section V bandwidths) |
+//! | [`calibration`] | Table IV access-latency classes, Figure 4 CDFs, threshold training |
+//! | [`eviction`] | Table II replacement-set sizing, Table V random replacement |
+//! | [`capacity`] | cycle-period ↔ kbps conversions (2.2 GHz clock) |
+//! | [`stealth`] | Tables VI and VII perf-counter profiles |
+//! | [`side_channel`] | Section IX / Figure 9 gadget attacks |
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use wb_channel::channel::{ChannelConfig, CovertChannel};
+//! use wb_channel::encoding::SymbolEncoding;
+//! use sim_core::sched::InterruptConfig;
+//! use sim_core::tsc::TscConfig;
+//!
+//! # fn main() -> Result<(), wb_channel::Error> {
+//! // A quiet machine so the doctest is deterministic; the defaults model the
+//! // paper's noisy hyper-threaded environment instead.
+//! let config = ChannelConfig::builder()
+//!     .encoding(SymbolEncoding::binary(1)?)
+//!     .period_cycles(5_500) // 400 kbps at 2.2 GHz
+//!     .interrupts(InterruptConfig::none())
+//!     .tsc(TscConfig::ideal())
+//!     .calibration_samples(40)
+//!     .build()?;
+//! let mut channel = CovertChannel::new(config)?;
+//! let secret = [true, false, true, true, false, false, true, false];
+//! let report = channel.transmit_bits(&secret)?;
+//! assert_eq!(report.bit_error_rate(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod calibration;
+pub mod capacity;
+pub mod channel;
+pub mod encoding;
+pub mod eviction;
+pub mod protocol;
+pub mod receiver;
+pub mod sender;
+pub mod side_channel;
+pub mod stealth;
+
+mod error;
+
+pub use channel::{ChannelConfig, CovertChannel, EvaluationReport, TransmissionReport};
+pub use encoding::SymbolEncoding;
+pub use error::Error;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use crate::calibration::CalibrationConfig;
+    pub use crate::channel::{
+        ChannelConfig, ChannelConfigBuilder, CovertChannel, EvaluationReport, NoiseConfig,
+        TransmissionReport,
+    };
+    pub use crate::encoding::SymbolEncoding;
+    pub use crate::error::Error;
+    pub use crate::protocol::{Decoder, Frame};
+    pub use crate::receiver::WbReceiver;
+    pub use crate::sender::WbSender;
+}

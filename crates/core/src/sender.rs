@@ -1,0 +1,332 @@
+//! The WB-channel sender (Algorithm 1 + the sender half of Algorithm 3).
+//!
+//! For every symbol the sender stores to `d` of its own cache lines that map
+//! to the target set, putting them into the dirty state, and then busy-waits
+//! until the next sending period.  Transmitting a binary `0` requires no
+//! memory access at all, which is what makes the sender so quiet in the
+//! perf-counter profiles of Tables VI and VII.
+
+use crate::encoding::SymbolEncoding;
+use sim_cache::line::DomainId;
+use sim_core::memlayout::SetLines;
+use sim_core::program::{Action, Actor, Completion};
+
+/// The sender state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SenderState {
+    /// Issue the stores for the current symbol.
+    Encode,
+    /// Touch the process's own hot lines (spin-loop footprint).
+    Spin,
+    /// Busy-wait for the rest of the period.
+    Wait,
+}
+
+/// The covert-channel sender, usable as an [`Actor`] on the simulated SMT
+/// core.
+#[derive(Debug)]
+pub struct WbSender {
+    name: String,
+    domain: DomainId,
+    /// The sender's own lines mapping to the target set (the paper's
+    /// "lines 0–N"); disjoint from the receiver's lines because the two
+    /// processes share no memory.
+    target_lines: SetLines,
+    encoding: SymbolEncoding,
+    /// The symbol stream to transmit.
+    symbols: Vec<usize>,
+    /// Sending period `Ts` in cycles.
+    period: u64,
+    state: SenderState,
+    symbol_idx: usize,
+    store_idx: usize,
+    /// `Tlast` of Algorithm 3.
+    t_last: Option<u64>,
+    symbols_sent: usize,
+    /// Optional private hot lines touched every period, modelling the
+    /// spin-loop/stack footprint of the real sender process.  Used by the
+    /// stealthiness experiments (Tables VI and VII); plain channel
+    /// transmissions leave this empty.
+    spin_lines: Option<SetLines>,
+    spin_loads_per_period: usize,
+    spin_idx: usize,
+    /// Cycle at which the first symbol period starts (the rendezvous time the
+    /// two parties agreed on).  Zero means "start immediately".
+    start_at: u64,
+    started: bool,
+}
+
+impl WbSender {
+    /// Creates a sender that will transmit `symbols` (already encoded symbol
+    /// values) at one symbol per `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol value is out of range for the encoding, or if the
+    /// encoding needs more dirty lines than `target_lines` provides.
+    pub fn new(
+        domain: DomainId,
+        target_lines: SetLines,
+        encoding: SymbolEncoding,
+        symbols: Vec<usize>,
+        period: u64,
+    ) -> WbSender {
+        let max_level = encoding
+            .levels()
+            .into_iter()
+            .max()
+            .expect("encodings always have at least two symbols");
+        assert!(
+            max_level <= target_lines.len(),
+            "encoding needs {max_level} lines but the layout provides {}",
+            target_lines.len()
+        );
+        assert!(
+            symbols.iter().all(|&s| s < encoding.num_symbols()),
+            "symbol value out of range for {encoding}"
+        );
+        WbSender {
+            name: "wb-sender".to_owned(),
+            domain,
+            target_lines,
+            encoding,
+            symbols,
+            period: period.max(1),
+            state: SenderState::Encode,
+            symbol_idx: 0,
+            store_idx: 0,
+            t_last: None,
+            symbols_sent: 0,
+            spin_lines: None,
+            spin_loads_per_period: 0,
+            spin_idx: 0,
+            start_at: 0,
+            started: false,
+        }
+    }
+
+    /// Delays the first symbol period until the given absolute cycle — the
+    /// rendezvous time the sender and receiver agreed on out of band.
+    #[must_use]
+    pub fn with_start_epoch(mut self, start_at: u64) -> WbSender {
+        self.start_at = start_at;
+        self
+    }
+
+    /// Adds a private spin-loop footprint: `loads_per_period` loads over
+    /// `lines` are issued every period, modelling the stack and loop
+    /// variables the real sender process keeps touching while it busy-waits.
+    #[must_use]
+    pub fn with_spin_footprint(mut self, lines: SetLines, loads_per_period: usize) -> WbSender {
+        self.spin_lines = Some(lines);
+        self.spin_loads_per_period = loads_per_period;
+        self
+    }
+
+    /// Number of symbols fully transmitted so far.
+    pub fn symbols_sent(&self) -> usize {
+        self.symbols_sent
+    }
+
+    /// The symbol stream this sender transmits.
+    pub fn symbols(&self) -> &[usize] {
+        &self.symbols
+    }
+
+    /// The bit stream corresponding to the symbol stream.
+    pub fn bits(&self) -> Vec<bool> {
+        self.encoding.symbols_to_bits(&self.symbols)
+    }
+
+    fn current_dirty_count(&self) -> usize {
+        self.encoding.dirty_lines_for(self.symbols[self.symbol_idx])
+    }
+}
+
+impl Actor for WbSender {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    fn next_action(&mut self, now: u64) -> Action {
+        // Wait for the agreed rendezvous time before the first symbol.
+        if !self.started {
+            self.started = true;
+            if self.start_at > now {
+                self.t_last = Some(self.start_at);
+                return Action::WaitUntil(self.start_at);
+            }
+        }
+        // Algorithm 3: Tlast is (re)read from the TSC.
+        if self.t_last.is_none() {
+            self.t_last = Some(now);
+        }
+        loop {
+            if self.symbol_idx >= self.symbols.len() {
+                return Action::Done;
+            }
+            match self.state {
+                SenderState::Encode => {
+                    let d = self.current_dirty_count();
+                    if self.store_idx < d {
+                        let line = self.target_lines.line(self.store_idx);
+                        self.store_idx += 1;
+                        return Action::Store(line);
+                    }
+                    // Encoding phase complete; touch the spin footprint (if
+                    // any), then sleep until the period ends.
+                    self.state = SenderState::Spin;
+                    self.spin_idx = 0;
+                }
+                SenderState::Spin => {
+                    if let Some(spin) = &self.spin_lines {
+                        if self.spin_idx < self.spin_loads_per_period && !spin.is_empty() {
+                            let line = spin.line(self.spin_idx % spin.len());
+                            self.spin_idx += 1;
+                            return Action::Load(line);
+                        }
+                    }
+                    self.state = SenderState::Wait;
+                    let target = self.t_last.expect("set above") + self.period;
+                    return Action::WaitUntil(target);
+                }
+                SenderState::Wait => {
+                    // The wait has completed (we are called again only after
+                    // the previous action finished): start the next symbol.
+                    self.t_last = Some(now);
+                    self.symbols_sent += 1;
+                    self.symbol_idx += 1;
+                    self.store_idx = 0;
+                    self.state = SenderState::Encode;
+                }
+            }
+        }
+    }
+
+    fn on_completion(&mut self, _completion: &Completion) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cache::addr::CacheGeometry;
+    use sim_core::process::{AddressSpace, ProcessId};
+
+    fn lines() -> SetLines {
+        SetLines::build(
+            AddressSpace::new(ProcessId(2)),
+            CacheGeometry::xeon_l1d(),
+            21,
+            8,
+            0,
+        )
+    }
+
+    fn drive(sender: &mut WbSender, start: u64) -> Vec<Action> {
+        // Drives the actor as the machine would, assuming every action takes
+        // 10 cycles except waits, which complete exactly at their target.
+        let mut actions = Vec::new();
+        let mut now = start;
+        loop {
+            let action = sender.next_action(now);
+            match &action {
+                Action::Done => {
+                    actions.push(action);
+                    break;
+                }
+                Action::WaitUntil(t) => {
+                    now = (*t).max(now);
+                }
+                _ => now += 10,
+            }
+            actions.push(action);
+        }
+        actions
+    }
+
+    #[test]
+    fn binary_one_stores_d_lines_and_zero_stores_none() {
+        let encoding = SymbolEncoding::binary(3).unwrap();
+        let mut sender = WbSender::new(2, lines(), encoding, vec![1, 0, 1], 1_000);
+        let actions = drive(&mut sender, 0);
+        let stores = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Store(_)))
+            .count();
+        let waits = actions
+            .iter()
+            .filter(|a| matches!(a, Action::WaitUntil(_)))
+            .count();
+        assert_eq!(stores, 6, "two '1' symbols at d=3");
+        assert_eq!(waits, 3, "one wait per symbol");
+        assert_eq!(sender.symbols_sent(), 3);
+    }
+
+    #[test]
+    fn multi_bit_symbols_store_their_level() {
+        let encoding = SymbolEncoding::paper_two_bit();
+        let mut sender = WbSender::new(2, lines(), encoding, vec![0, 1, 2, 3], 2_000);
+        let actions = drive(&mut sender, 0);
+        let stores = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Store(_)))
+            .count();
+        assert_eq!(stores, 0 + 3 + 5 + 8);
+    }
+
+    #[test]
+    fn waits_target_consecutive_period_boundaries() {
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let mut sender = WbSender::new(2, lines(), encoding, vec![0, 0, 0], 5_000);
+        let actions = drive(&mut sender, 100);
+        let targets: Vec<u64> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::WaitUntil(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![5_100, 10_100, 15_100]);
+    }
+
+    #[test]
+    fn bits_round_trip_through_the_encoding() {
+        let encoding = SymbolEncoding::binary(4).unwrap();
+        let sender = WbSender::new(2, lines(), encoding, vec![1, 0, 1, 1], 100);
+        assert_eq!(sender.bits(), vec![true, false, true, true]);
+        assert_eq!(sender.symbols(), &[1, 0, 1, 1]);
+        assert_eq!(sender.name(), "wb-sender");
+        assert_eq!(sender.domain(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol value out of range")]
+    fn rejects_out_of_range_symbols() {
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let _ = WbSender::new(2, lines(), encoding, vec![2], 100);
+    }
+
+    #[test]
+    fn spin_footprint_adds_loads_every_period() {
+        let spin = SetLines::build(
+            AddressSpace::new(ProcessId(2)),
+            CacheGeometry::xeon_l1d(),
+            40,
+            4,
+            500,
+        );
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let mut sender =
+            WbSender::new(2, lines(), encoding, vec![0, 1, 0], 1_000).with_spin_footprint(spin, 6);
+        let actions = drive(&mut sender, 0);
+        let loads = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Load(_)))
+            .count();
+        assert_eq!(loads, 18, "6 spin loads per period over 3 symbols");
+    }
+}

@@ -1,0 +1,347 @@
+//! Stealthiness metrics (Tables VI and VII).
+//!
+//! The paper argues the WB channel is hard to detect because the sender's
+//! cache footprint is tiny: each bit is modulated with at most a handful of
+//! stores, and most of the time both parties sit in busy-wait loops.  The
+//! evidence is perf-counter based:
+//!
+//! * **Table VI** — cache loads per millisecond of the sender process at
+//!   `Ts = 11 000` cycles, compared with the LRU-channel sender (the LRU
+//!   side of the comparison lives in the `baselines` crate).
+//! * **Table VII** — the sender's L1/L2/LLC miss rates while the channel
+//!   runs, compared with a sender sharing the core with a benign `g++`
+//!   workload and with the sender running alone.
+
+use crate::encoding::SymbolEncoding;
+use crate::error::Error;
+use crate::receiver::WbReceiver;
+use crate::sender::WbSender;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sim_core::machine::{Machine, MachineConfig};
+use sim_core::memlayout::{ChannelLayout, SetLines};
+use sim_core::perf::{PerfCounters, PerfLevel};
+use sim_core::process::{AddressSpace, ProcessId};
+use sim_core::program::Actor;
+use sim_core::workload::{CompilerWorkload, CompilerWorkloadConfig};
+
+const RECEIVER_DOMAIN: u16 = 1;
+const SENDER_DOMAIN: u16 = 2;
+const COMPANION_DOMAIN: u16 = 4;
+
+/// Who shares the physical core with the WB sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SenderCompanion {
+    /// The WB receiver (the covert channel is running) — the "WB" column.
+    WbReceiver,
+    /// A benign compiler-like workload — the "Sender & g++" column.
+    CompilerWorkload,
+    /// Nothing: the sender runs alone — the "Sender only" column.
+    None,
+}
+
+/// Per-level cache load rates (Table VI).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadProfile {
+    /// L1 data-cache loads per millisecond.
+    pub l1_per_ms: f64,
+    /// L2 references per millisecond.
+    pub l2_per_ms: f64,
+    /// LLC references per millisecond.
+    pub llc_per_ms: f64,
+    /// Sum over the three levels.
+    pub total_per_ms: f64,
+}
+
+/// Per-level miss rates of the sender process (Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRateProfile {
+    /// L1 data-cache miss rate in `[0, 1]`.
+    pub l1d: f64,
+    /// L2 miss rate in `[0, 1]`.
+    pub l2: f64,
+    /// LLC miss rate in `[0, 1]`.
+    pub llc: f64,
+}
+
+/// Raw output of one stealth run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StealthRun {
+    /// The sender's raw perf counters.
+    pub sender_counters: PerfCounters,
+    /// Wall-clock duration of the measurement window, in cycles.
+    pub elapsed_cycles: u64,
+    /// Core clock in GHz (for per-millisecond conversions).
+    pub clock_ghz: f64,
+}
+
+impl StealthRun {
+    /// The Table VI row for this run.
+    pub fn load_profile(&self) -> LoadProfile {
+        let per_ms = |level| {
+            self.sender_counters
+                .loads_per_ms(level, self.elapsed_cycles, self.clock_ghz)
+        };
+        LoadProfile {
+            l1_per_ms: per_ms(PerfLevel::L1),
+            l2_per_ms: per_ms(PerfLevel::L2),
+            llc_per_ms: per_ms(PerfLevel::Llc),
+            total_per_ms: per_ms(PerfLevel::Total),
+        }
+    }
+
+    /// The Table VII row for this run.
+    pub fn miss_rates(&self) -> MissRateProfile {
+        MissRateProfile {
+            l1d: self.sender_counters.l1_miss_rate(),
+            l2: self.sender_counters.l2_miss_rate(),
+            llc: self.sender_counters.llc_miss_rate(),
+        }
+    }
+}
+
+/// Runs the WB sender for `duration_cycles` alongside the chosen companion
+/// and returns its perf-counter profile.
+///
+/// The sender transmits a random bit stream with the given encoding at one
+/// symbol per `period_cycles`, exactly as in the channel evaluation.
+///
+/// # Errors
+///
+/// Propagates machine-configuration errors.
+pub fn sender_profile(
+    machine_config: MachineConfig,
+    encoding: &SymbolEncoding,
+    period_cycles: u64,
+    duration_cycles: u64,
+    companion: SenderCompanion,
+    seed: u64,
+) -> Result<StealthRun, Error> {
+    let mut machine = Machine::new(machine_config)?;
+    let geometry = machine.l1_geometry();
+    let target_set = 21usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Sender: a random symbol stream long enough to outlast the window.
+    let symbol_count = (duration_cycles / period_cycles.max(1) + 2) as usize;
+    let symbols: Vec<usize> = (0..symbol_count)
+        .map(|_| rng.gen_range(0..encoding.num_symbols()))
+        .collect();
+    let sender_space = AddressSpace::new(ProcessId(SENDER_DOMAIN));
+    let sender_lines = SetLines::build(
+        sender_space,
+        geometry,
+        target_set,
+        geometry.associativity,
+        0,
+    );
+    // The real sender process keeps touching its loop variables and stack
+    // while busy-waiting; model that as a small hot footprint in an unrelated
+    // set so the perf-counter denominators (Table VII) are meaningful.
+    let spin_lines = SetLines::build(sender_space, geometry, (target_set + 17) % 64, 4, 5_000);
+    let mut sender = WbSender::new(
+        SENDER_DOMAIN,
+        sender_lines,
+        encoding.clone(),
+        symbols,
+        period_cycles,
+    )
+    .with_spin_footprint(spin_lines, 24);
+
+    let mut receiver_actor;
+    let mut workload_actor;
+    let start = machine.now();
+    {
+        let mut actors: Vec<&mut dyn Actor> = vec![&mut sender];
+        match companion {
+            SenderCompanion::WbReceiver => {
+                let layout = ChannelLayout::build(
+                    AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+                    geometry,
+                    target_set,
+                    geometry.associativity,
+                    10,
+                );
+                receiver_actor = WbReceiver::with_default_phase(
+                    RECEIVER_DOMAIN,
+                    layout,
+                    period_cycles,
+                    symbol_count,
+                    seed ^ 0xaaaa,
+                );
+                actors.push(&mut receiver_actor);
+            }
+            SenderCompanion::CompilerWorkload => {
+                workload_actor = CompilerWorkload::new(
+                    AddressSpace::new(ProcessId(COMPANION_DOMAIN)),
+                    COMPANION_DOMAIN,
+                    CompilerWorkloadConfig::default(),
+                    seed ^ 0xbbbb,
+                );
+                actors.push(&mut workload_actor);
+            }
+            SenderCompanion::None => {}
+        }
+        machine.run(&mut actors, duration_cycles);
+    }
+
+    Ok(StealthRun {
+        sender_counters: machine.perf(SENDER_DOMAIN),
+        elapsed_cycles: machine.now() - start,
+        clock_ghz: machine.clock_ghz(),
+    })
+}
+
+/// Convenience wrapper producing the three Table VII columns for one
+/// encoding.
+///
+/// # Errors
+///
+/// Propagates errors from [`sender_profile`].
+pub fn table_vii_rows(
+    machine_config: MachineConfig,
+    encoding: &SymbolEncoding,
+    period_cycles: u64,
+    duration_cycles: u64,
+    seed: u64,
+) -> Result<[(SenderCompanion, MissRateProfile); 3], Error> {
+    let wb = sender_profile(
+        machine_config,
+        encoding,
+        period_cycles,
+        duration_cycles,
+        SenderCompanion::WbReceiver,
+        seed,
+    )?
+    .miss_rates();
+    let gpp = sender_profile(
+        machine_config,
+        encoding,
+        period_cycles,
+        duration_cycles,
+        SenderCompanion::CompilerWorkload,
+        seed,
+    )?
+    .miss_rates();
+    let alone = sender_profile(
+        machine_config,
+        encoding,
+        period_cycles,
+        duration_cycles,
+        SenderCompanion::None,
+        seed,
+    )?
+    .miss_rates();
+    Ok([
+        (SenderCompanion::WbReceiver, wb),
+        (SenderCompanion::CompilerWorkload, gpp),
+        (SenderCompanion::None, alone),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cache::policy::PolicyKind;
+
+    fn machine_config() -> MachineConfig {
+        MachineConfig::ideal(PolicyKind::TreePlru, 9)
+    }
+
+    const TS: u64 = 11_000;
+    const WINDOW: u64 = 4_000_000;
+
+    #[test]
+    fn sender_footprint_is_small_when_the_channel_runs() {
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let run = sender_profile(
+            machine_config(),
+            &encoding,
+            TS,
+            WINDOW,
+            SenderCompanion::WbReceiver,
+            1,
+        )
+        .unwrap();
+        let loads = run.load_profile();
+        // The sender performs at most one store plus its small spin-loop
+        // footprint per period, so its load rate stays modest (the paper's
+        // absolute Table VI values also count the busy-wait loop; what
+        // matters downstream is that the WB sender loads less than the
+        // LRU-channel sender, which the bench harness checks).
+        assert!(loads.l1_per_ms < 10_000.0, "l1/ms = {}", loads.l1_per_ms);
+        assert!(loads.total_per_ms >= loads.l1_per_ms);
+        assert!(run.elapsed_cycles > 0);
+    }
+
+    #[test]
+    fn wb_sender_l1_miss_rate_exceeds_its_solo_run() {
+        // Table VII: the receiver keeps evicting the sender's lines to the
+        // L2, so the sender's L1 miss rate with the channel running is higher
+        // than when it runs alone.
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let rows = table_vii_rows(machine_config(), &encoding, TS, WINDOW, 3).unwrap();
+        let wb = rows[0].1;
+        let alone = rows[2].1;
+        assert!(
+            wb.l1d >= alone.l1d,
+            "channel run {} should not have a lower L1 miss rate than solo {}",
+            wb.l1d,
+            alone.l1d
+        );
+        assert!(
+            wb.l1d < 0.25,
+            "the sender's overall L1 miss rate stays small: {}",
+            wb.l1d
+        );
+    }
+
+    #[test]
+    fn multibit_sender_misses_more_than_binary_sender() {
+        // Table VII: multi-bit encoding modulates more lines per symbol, so
+        // the sender's L1 miss rate is higher than for binary encoding.
+        let binary = SymbolEncoding::binary(1).unwrap();
+        let multibit = SymbolEncoding::paper_two_bit();
+        let b = sender_profile(
+            machine_config(),
+            &binary,
+            TS,
+            WINDOW,
+            SenderCompanion::WbReceiver,
+            5,
+        )
+        .unwrap();
+        let m = sender_profile(
+            machine_config(),
+            &multibit,
+            TS,
+            WINDOW,
+            SenderCompanion::WbReceiver,
+            5,
+        )
+        .unwrap();
+        assert!(
+            m.sender_counters.stores > b.sender_counters.stores,
+            "multi-bit encoding stores more lines"
+        );
+    }
+
+    #[test]
+    fn gpp_companion_perturbs_the_sender_more_than_running_alone() {
+        // The paper's stealth argument (Table VII): a benign co-runner such
+        // as g++ causes cache contention of the same order as the WB
+        // receiver, so the sender's miss-rate profile does not stand out.
+        let encoding = SymbolEncoding::binary(1).unwrap();
+        let rows = table_vii_rows(machine_config(), &encoding, TS, WINDOW, 7).unwrap();
+        let gpp = rows[1].1;
+        let alone = rows[2].1;
+        assert!(
+            gpp.l1d >= alone.l1d,
+            "g++ contention ({}) should not reduce the solo miss rate ({})",
+            gpp.l1d,
+            alone.l1d
+        );
+        assert!(gpp.l1d < 0.5, "the sender remains mostly L1-resident: {}", gpp.l1d);
+    }
+}

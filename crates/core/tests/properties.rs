@@ -1,0 +1,103 @@
+//! Property-based tests for the WB channel's encoding, framing and
+//! capacity invariants.
+
+use proptest::prelude::*;
+use wb_channel::capacity::{period_for_kbps, rate_kbps};
+use wb_channel::encoding::SymbolEncoding;
+use wb_channel::eviction::analytic_dirty_eviction_probability;
+use wb_channel::protocol::{align_and_score, preamble, Frame, PREAMBLE_BITS};
+
+fn arbitrary_encoding() -> impl Strategy<Value = SymbolEncoding> {
+    prop_oneof![
+        (1usize..=8).prop_map(|d| SymbolEncoding::binary(d).unwrap()),
+        Just(SymbolEncoding::paper_two_bit()),
+        Just(SymbolEncoding::multi_bit(vec![0, 2, 4, 6]).unwrap()),
+        Just(SymbolEncoding::multi_bit(vec![1, 8]).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bits -> symbols -> bits round-trips (up to zero padding of the final
+    /// symbol) for every encoding.
+    #[test]
+    fn encoding_round_trip(encoding in arbitrary_encoding(),
+                           bits in proptest::collection::vec(any::<bool>(), 0..96)) {
+        let symbols = encoding.bits_to_symbols(&bits);
+        for &s in &symbols {
+            prop_assert!(s < encoding.num_symbols());
+            prop_assert!(encoding.dirty_lines_for(s) <= SymbolEncoding::MAX_DIRTY_LINES);
+        }
+        let back = encoding.symbols_to_bits(&symbols);
+        prop_assert!(back.len() >= bits.len());
+        prop_assert_eq!(&back[..bits.len()], bits.as_slice());
+        // Padding bits are all zero.
+        prop_assert!(back[bits.len()..].iter().all(|&b| !b));
+    }
+
+    /// The dirty-line level is strictly monotone in the symbol value, which is
+    /// what makes the multi-level latency decoder well-defined.
+    #[test]
+    fn dirty_levels_are_monotone(encoding in arbitrary_encoding()) {
+        let levels = encoding.levels();
+        prop_assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(levels.len(), encoding.num_symbols());
+        prop_assert_eq!(1 << encoding.bits_per_symbol(), encoding.num_symbols());
+    }
+
+    /// rate_kbps and period_for_kbps are inverse functions.
+    #[test]
+    fn rate_and_period_are_inverse(bits in 1usize..4, period in 100u64..100_000) {
+        let rate = rate_kbps(bits, period, 2.2);
+        prop_assert!(rate > 0.0);
+        let back = period_for_kbps(bits, rate, 2.2).unwrap();
+        // Rounding to whole cycles can move the period by at most one cycle.
+        prop_assert!(back.abs_diff(period) <= 1);
+    }
+
+    /// The analytic Table V probability is a probability, monotone in both d
+    /// and L.
+    #[test]
+    fn analytic_probability_is_monotone(d in 0usize..=8, l in 1usize..32) {
+        let p = analytic_dirty_eviction_probability(8, d, l);
+        prop_assert!((0.0..=1.0).contains(&p));
+        if d < 8 {
+            prop_assert!(analytic_dirty_eviction_probability(8, d + 1, l) >= p);
+        }
+        prop_assert!(analytic_dirty_eviction_probability(8, d, l + 1) >= p);
+    }
+
+    /// Frames always start with the fixed preamble, and a perfectly received
+    /// frame aligns at the offset where it was embedded with zero errors.
+    #[test]
+    fn frame_alignment_recovers_known_offsets(
+        payload in proptest::collection::vec(any::<bool>(), 16..80),
+        junk in proptest::collection::vec(any::<bool>(), 0..4),
+    ) {
+        let frame = Frame::from_payload(&payload);
+        let expected_preamble = preamble();
+        prop_assert_eq!(&frame.bits()[..PREAMBLE_BITS], expected_preamble.as_slice());
+        prop_assert_eq!(frame.payload(), payload.as_slice());
+        let mut stream = junk.clone();
+        stream.extend_from_slice(frame.bits());
+        let result = align_and_score(frame.bits(), &stream, 8);
+        // The preamble may coincidentally match inside the junk prefix, but
+        // the score at the true offset is exact, so the best score is 0..=junk.
+        prop_assert!(result.edit_distance <= junk.len());
+        prop_assert!(result.bit_error_rate <= junk.len() as f64 / frame.len() as f64);
+    }
+
+    /// The scored bit error rate never exceeds 1 + (extra received length /
+    /// sent length) and is zero for identical streams.
+    #[test]
+    fn alignment_score_bounds(bits in proptest::collection::vec(any::<bool>(), 16..64)) {
+        let frame = Frame::from_payload(&bits);
+        let perfect = align_and_score(frame.bits(), frame.bits(), 4);
+        prop_assert_eq!(perfect.edit_distance, 0);
+        let empty: Vec<bool> = Vec::new();
+        let lost = align_and_score(frame.bits(), &empty, 4);
+        prop_assert_eq!(lost.edit_distance, frame.len());
+        prop_assert!((lost.bit_error_rate - 1.0).abs() < 1e-12);
+    }
+}

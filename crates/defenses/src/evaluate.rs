@@ -1,0 +1,343 @@
+//! Defense evaluation harness.
+//!
+//! For every [`Defense`] the harness re-runs the core WB-channel measurement
+//! — "can the receiver distinguish a target set with `d` dirty lines from a
+//! clean one by timing a replacement sweep?" — and reports the residual
+//! distinguishability.  This mirrors how Section VIII argues about each
+//! defense: not with full transmissions but with the latency separation the
+//! receiver has left to work with.
+
+use crate::defense::{Defense, RECEIVER_DOMAIN, SENDER_DOMAIN};
+use analysis::threshold::BinaryThreshold;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sim_cache::cache::AccessContext;
+use sim_cache::policy::PolicyKind;
+use sim_core::machine::{Machine, MachineConfig};
+use sim_core::memlayout::{ChannelLayout, SetLines};
+use sim_core::process::{AddressSpace, ProcessId};
+use wb_channel::Error;
+
+/// Result of evaluating one defense.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefenseEvaluation {
+    /// The defense evaluated.
+    pub defense: Defense,
+    /// Human-readable defense name.
+    pub label: String,
+    /// Mean replacement latency with a clean target set.
+    pub mean_clean: f64,
+    /// Mean replacement latency with `dirty_lines` dirty lines.
+    pub mean_dirty: f64,
+    /// How many dirty lines the sender used.
+    pub dirty_lines: usize,
+    /// Accuracy of a calibrated binary classifier distinguishing the two
+    /// cases on held-out samples (0.5 = chance, 1.0 = perfect).
+    pub accuracy: f64,
+    /// Whether the harness considers the defense to have mitigated the
+    /// channel (accuracy below [`MITIGATION_ACCURACY`]).
+    pub mitigated: bool,
+    /// The paper's verdict, for the comparison tables.
+    pub paper_expectation: String,
+}
+
+/// Classification accuracy below which a defense counts as mitigating.
+pub const MITIGATION_ACCURACY: f64 = 0.75;
+
+/// Configuration of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationConfig {
+    /// Samples per class (half used for calibration, half for scoring).
+    pub samples: usize,
+    /// Number of dirty lines the sender encodes with.
+    pub dirty_lines: usize,
+    /// Target set.
+    pub target_set: usize,
+    /// Replacement-set size.
+    pub replacement_size: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for EvaluationConfig {
+    fn default() -> Self {
+        EvaluationConfig {
+            samples: 160,
+            dirty_lines: 3,
+            target_set: 21,
+            replacement_size: 10,
+            seed: 29,
+        }
+    }
+}
+
+/// Evaluates one defense.
+///
+/// # Errors
+///
+/// Propagates machine-configuration errors.
+pub fn evaluate_defense(
+    defense: Defense,
+    config: &EvaluationConfig,
+) -> Result<DefenseEvaluation, Error> {
+    let mut machine_config = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, config.seed);
+    // Keep the evaluation deterministic apart from the defense itself.
+    machine_config.interrupts = sim_core::sched::InterruptConfig::none();
+    defense.apply_to_machine_config(&mut machine_config);
+    let mut machine = Machine::new(machine_config)?;
+    defense.apply_to_machine(&mut machine)?;
+
+    let geometry = machine.l1_geometry();
+    let receiver_layout = ChannelLayout::build(
+        AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+        geometry,
+        config.target_set,
+        geometry.associativity,
+        config.replacement_size,
+    );
+    let sender_lines = SetLines::build(
+        AddressSpace::new(ProcessId(SENDER_DOMAIN)),
+        geometry,
+        config.target_set,
+        geometry.associativity,
+        0,
+    );
+    // Guard lines used by Prefetch-guard (a separate "defense" domain).
+    let guard_lines = SetLines::build(
+        AddressSpace::new(ProcessId(7)),
+        geometry,
+        config.target_set,
+        8,
+        7_000,
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdef);
+
+    // Warm everything.
+    let warm: Vec<_> = receiver_layout
+        .replacement_a
+        .lines()
+        .iter()
+        .chain(receiver_layout.replacement_b.lines())
+        .chain(receiver_layout.target_lines.lines())
+        .copied()
+        .collect();
+    for addr in warm {
+        machine.read(RECEIVER_DOMAIN, addr);
+    }
+    for &addr in sender_lines.lines().iter().chain(guard_lines.lines()) {
+        machine.read(SENDER_DOMAIN, addr);
+    }
+
+    let mut sweeps = 0u64;
+    let mut locked_lines: Vec<sim_cache::addr::PhysAddr> = Vec::new();
+    let mut observe = |machine: &mut Machine, rng: &mut StdRng, d: usize| -> u64 {
+        // Sender encodes d dirty lines (the protected process's stores).
+        for i in 0..d {
+            let line = sender_lines.line(i);
+            machine.write(SENDER_DOMAIN, line);
+            if defense.locks_protected_lines() {
+                machine.hierarchy_mut().l1_mut().lock_line(line);
+                locked_lines.push(line);
+            }
+        }
+        // Prefetch-guard injects guard lines into the suspicious set.
+        for g in 0..defense.guard_prefetch_degree() {
+            let line = guard_lines.line(g % guard_lines.len());
+            machine
+                .hierarchy_mut()
+                .prefetch_into_l1(line, AccessContext::for_domain(7));
+        }
+        // Receiver decodes: a measured sweep with alternating replacement sets.
+        let replacement = receiver_layout.replacement_for(sweeps);
+        sweeps += 1;
+        let order = replacement.shuffled(rng);
+        let (measured, _) = machine.measured_chase(RECEIVER_DOMAIN, &order);
+        // PLcache: the protected process unlocks (and cleans up) its lines at
+        // the end of its critical section so the next iteration starts fresh.
+        if defense.locks_protected_lines() {
+            for line in locked_lines.drain(..) {
+                machine.hierarchy_mut().l1_mut().unlock_line(line);
+                machine.hierarchy_mut().flush(line, AccessContext::for_domain(SENDER_DOMAIN));
+            }
+        }
+        measured
+    };
+
+    // Collect samples, interleaving the two classes.
+    let per_class = config.samples.max(16);
+    let mut clean = Vec::with_capacity(per_class);
+    let mut dirty = Vec::with_capacity(per_class);
+    for _ in 0..per_class {
+        clean.push(observe(&mut machine, &mut rng, 0) as f64);
+        dirty.push(observe(&mut machine, &mut rng, config.dirty_lines) as f64);
+    }
+
+    // Calibrate on the first half, score on the second half.
+    let half = per_class / 2;
+    let threshold = BinaryThreshold::calibrate(&clean[..half], &dirty[..half]);
+    let ones_are_slower = threshold.mean_one >= threshold.mean_zero;
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &value in &clean[half..] {
+        let classified_dirty = if ones_are_slower {
+            threshold.classify(value)
+        } else {
+            !threshold.classify(value)
+        };
+        if !classified_dirty {
+            correct += 1;
+        }
+        total += 1;
+    }
+    for &value in &dirty[half..] {
+        let classified_dirty = if ones_are_slower {
+            threshold.classify(value)
+        } else {
+            !threshold.classify(value)
+        };
+        if classified_dirty {
+            correct += 1;
+        }
+        total += 1;
+    }
+    let accuracy = correct as f64 / total.max(1) as f64;
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+
+    Ok(DefenseEvaluation {
+        label: defense.label(),
+        paper_expectation: defense.paper_expectation().to_owned(),
+        mean_clean: mean(&clean),
+        mean_dirty: mean(&dirty),
+        dirty_lines: config.dirty_lines,
+        accuracy,
+        mitigated: accuracy < MITIGATION_ACCURACY,
+        defense,
+    })
+}
+
+/// Evaluates every defense in [`Defense::ALL`].
+///
+/// # Errors
+///
+/// Propagates errors from [`evaluate_defense`].
+pub fn evaluate_all(config: &EvaluationConfig) -> Result<Vec<DefenseEvaluation>, Error> {
+    Defense::ALL
+        .iter()
+        .map(|&d| evaluate_defense(d, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> EvaluationConfig {
+        EvaluationConfig {
+            samples: 80,
+            ..EvaluationConfig::default()
+        }
+    }
+
+    #[test]
+    fn undefended_channel_is_fully_distinguishable() {
+        let result = evaluate_defense(Defense::None, &config()).unwrap();
+        assert!(result.accuracy > 0.95, "accuracy {}", result.accuracy);
+        assert!(!result.mitigated);
+        assert!(result.mean_dirty > result.mean_clean + 20.0);
+    }
+
+    #[test]
+    fn write_through_l1_kills_the_channel() {
+        let result = evaluate_defense(Defense::WriteThroughL1, &config()).unwrap();
+        assert!(result.mitigated, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn random_replacement_does_not_stop_the_channel() {
+        let result = evaluate_defense(Defense::RandomReplacement, &config()).unwrap();
+        assert!(
+            !result.mitigated,
+            "the paper shows random replacement is insufficient (accuracy {})",
+            result.accuracy
+        );
+        // Sec. VI-A: with d = 3 and a *larger* replacement set (L = 12) the
+        // channel becomes stable again; the accuracy must improve over L = 10.
+        let larger = EvaluationConfig {
+            replacement_size: 12,
+            ..config()
+        };
+        let with_l12 = evaluate_defense(Defense::RandomReplacement, &larger).unwrap();
+        assert!(
+            with_l12.accuracy >= result.accuracy - 0.05,
+            "a larger replacement set should not hurt: L10 {} vs L12 {}",
+            result.accuracy,
+            with_l12.accuracy
+        );
+        assert!(with_l12.accuracy > 0.8, "accuracy {}", with_l12.accuracy);
+    }
+
+    #[test]
+    fn prefetch_guard_does_not_stop_the_channel() {
+        let result = evaluate_defense(Defense::PrefetchGuard { degree: 2 }, &config()).unwrap();
+        assert!(
+            !result.mitigated,
+            "Prefetch-guard noise lines should not defeat WB (accuracy {})",
+            result.accuracy
+        );
+    }
+
+    #[test]
+    fn partitioning_defenses_stop_the_channel() {
+        for defense in [Defense::NoMoPartitioning, Defense::Dawg, Defense::PlCacheLocking] {
+            let result = evaluate_defense(defense, &config()).unwrap();
+            assert!(
+                result.mitigated,
+                "{} should mitigate, accuracy {}",
+                result.label, result.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn large_window_random_fill_mitigates() {
+        let result = evaluate_defense(Defense::RandomFill { window: 256 }, &config()).unwrap();
+        assert!(result.mitigated, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn fuzzy_time_reduces_accuracy() {
+        let baseline = evaluate_defense(Defense::None, &config()).unwrap();
+        let fuzzy = evaluate_defense(
+            Defense::FuzzyTime {
+                granularity: 128,
+                jitter: 64,
+            },
+            &config(),
+        )
+        .unwrap();
+        assert!(fuzzy.accuracy < baseline.accuracy);
+    }
+
+    #[test]
+    fn evaluate_all_covers_every_defense_and_matches_expectations() {
+        let results = evaluate_all(&config()).unwrap();
+        assert_eq!(results.len(), Defense::ALL.len());
+        for result in &results {
+            // Fuzzy time is allowed to land on either side (the paper calls
+            // it a weakening, not a guarantee); everything else must match
+            // the paper's verdict.
+            if matches!(result.defense, Defense::FuzzyTime { .. }) {
+                continue;
+            }
+            assert_eq!(
+                result.mitigated,
+                result.defense.expected_to_mitigate(),
+                "{}: accuracy {} vs expectation {}",
+                result.label,
+                result.accuracy,
+                result.paper_expectation
+            );
+        }
+    }
+}

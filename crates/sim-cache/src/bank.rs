@@ -1,0 +1,161 @@
+//! L1 cache-bank contention model.
+//!
+//! The paper's new attack classification (Table I / Figure 2) places
+//! CacheBleed in the *Hit+Hit* class: two hyper-threads hitting the same L1
+//! bank in the same cycle contend, and the loser's hit is delayed.  The WB
+//! channel itself does not rely on banking, but the SMT core model uses this
+//! module to (a) reproduce the Hit+Hit latency effect for the classification
+//! demo and (b) add realistic same-cycle interference noise between the
+//! sender and receiver hyper-threads.
+
+use crate::addr::{CacheGeometry, PhysAddr};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the banked L1 data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Number of banks (Sandy Bridge L1D: 16 banks of 4 bytes).
+    pub num_banks: usize,
+    /// Width of one bank in bytes.
+    pub bank_width: usize,
+    /// Extra cycles the losing access pays on a conflict.
+    pub conflict_penalty: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            num_banks: 16,
+            bank_width: 4,
+            conflict_penalty: 1,
+        }
+    }
+}
+
+/// Bank-conflict calculator.
+#[derive(Debug, Clone, Default)]
+pub struct BankModel {
+    config: BankConfig,
+}
+
+impl BankModel {
+    /// Creates a model from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks` or `bank_width` is zero or not a power of two.
+    pub fn new(config: BankConfig) -> BankModel {
+        assert!(
+            config.num_banks.is_power_of_two() && config.num_banks > 0,
+            "num_banks must be a power of two"
+        );
+        assert!(
+            config.bank_width.is_power_of_two() && config.bank_width > 0,
+            "bank_width must be a power of two"
+        );
+        BankModel { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> BankConfig {
+        self.config
+    }
+
+    /// The bank an address maps to.
+    pub fn bank_of(&self, addr: PhysAddr) -> usize {
+        ((addr.value() as usize) / self.config.bank_width) % self.config.num_banks
+    }
+
+    /// Whether two same-cycle accesses conflict: same bank, different line
+    /// words (same-word accesses are merged by the load unit).
+    pub fn conflicts(&self, a: PhysAddr, b: PhysAddr) -> bool {
+        self.bank_of(a) == self.bank_of(b) && a.value() / 4 != b.value() / 4
+    }
+
+    /// Extra cycles the second access pays when issued in the same cycle as
+    /// the first.
+    pub fn penalty(&self, a: PhysAddr, b: PhysAddr) -> u64 {
+        if self.conflicts(a, b) {
+            self.config.conflict_penalty
+        } else {
+            0
+        }
+    }
+
+    /// Extra cycles accumulated by a burst of `n` same-cycle accesses from a
+    /// sibling thread to the same bank as `addr` (used by the CacheBleed-style
+    /// Hit+Hit demonstration).
+    pub fn burst_penalty(&self, addr: PhysAddr, sibling: &[PhysAddr]) -> u64 {
+        sibling.iter().map(|&s| self.penalty(addr, s)).sum()
+    }
+
+    /// A helper for experiments: addresses within one cache line that map to
+    /// the given bank.
+    pub fn addresses_in_line_for_bank(
+        &self,
+        line_base: PhysAddr,
+        bank: usize,
+        geometry: CacheGeometry,
+    ) -> Vec<PhysAddr> {
+        (0..geometry.line_size as u64)
+            .step_by(self.config.bank_width)
+            .map(|off| line_base.offset(off))
+            .filter(|&a| self.bank_of(a) == bank)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_mapping_wraps_modulo_num_banks() {
+        let model = BankModel::new(BankConfig::default());
+        assert_eq!(model.bank_of(PhysAddr(0)), 0);
+        assert_eq!(model.bank_of(PhysAddr(4)), 1);
+        assert_eq!(model.bank_of(PhysAddr(60)), 15);
+        assert_eq!(model.bank_of(PhysAddr(64)), 0);
+    }
+
+    #[test]
+    fn same_bank_different_word_conflicts() {
+        let model = BankModel::new(BankConfig::default());
+        let a = PhysAddr(0);
+        let same_word = PhysAddr(2);
+        let same_bank_next_line = PhysAddr(64);
+        let other_bank = PhysAddr(8);
+        assert!(!model.conflicts(a, same_word));
+        assert!(model.conflicts(a, same_bank_next_line));
+        assert!(!model.conflicts(a, other_bank));
+        assert_eq!(model.penalty(a, same_bank_next_line), 1);
+        assert_eq!(model.penalty(a, other_bank), 0);
+    }
+
+    #[test]
+    fn burst_penalty_accumulates() {
+        let model = BankModel::new(BankConfig::default());
+        let target = PhysAddr(0);
+        let sibling = vec![PhysAddr(64), PhysAddr(128), PhysAddr(8)];
+        assert_eq!(model.burst_penalty(target, &sibling), 2);
+    }
+
+    #[test]
+    fn addresses_in_line_for_bank_returns_bank_aliases() {
+        let model = BankModel::new(BankConfig::default());
+        let g = CacheGeometry::xeon_l1d();
+        let list = model.addresses_in_line_for_bank(PhysAddr(0x1000), 3, g);
+        assert_eq!(list.len(), 1);
+        assert_eq!(model.bank_of(list[0]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_banks() {
+        let _ = BankModel::new(BankConfig {
+            num_banks: 12,
+            bank_width: 4,
+            conflict_penalty: 1,
+        });
+    }
+}

@@ -1,0 +1,580 @@
+//! A single cache level.
+//!
+//! [`Cache`] combines the tag store ([`crate::set::CacheSet`]), a replacement
+//! policy and per-level statistics.  It knows nothing about latency or about
+//! other levels; [`crate::hierarchy::CacheHierarchy`] composes several
+//! `Cache`s and attributes cycles.
+//!
+//! The interface is deliberately attacker-visible: experiments can ask how
+//! many dirty lines a set currently holds, lock lines (PLcache defense) or
+//! restrict a protection domain to a subset of the ways (NoMo / DAWG).
+
+use crate::addr::{CacheGeometry, LineAddr, PhysAddr};
+use crate::config::{CacheConfig, WritePolicy};
+use crate::line::DomainId;
+use crate::policy::ReplacementPolicy;
+use crate::set::CacheSet;
+use crate::stats::CacheStats;
+use crate::waymask::WayMask;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-access context: which protection domain issued the access.
+///
+/// Domains feed two mechanisms: way partitioning (a domain may only fill
+/// into its allotted ways) and ownership attribution used by the perf model
+/// and the DAWG defense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessContext {
+    /// The issuing protection/attribution domain.
+    pub domain: DomainId,
+}
+
+impl AccessContext {
+    /// Context for a given domain.
+    pub fn for_domain(domain: DomainId) -> AccessContext {
+        AccessContext { domain }
+    }
+}
+
+/// A line evicted by a fill, reported to the caller so write-backs can be
+/// propagated to the next level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Whether the evicted line was dirty (requires a write-back).
+    pub dirty: bool,
+    /// Domain that owned the evicted line.
+    pub owner: DomainId,
+}
+
+/// Result of installing a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Whether a line was actually installed (partitioning can forbid it).
+    pub filled: bool,
+    /// The way that received the line, when filled.
+    pub way: Option<usize>,
+    /// The valid line that had to be evicted, if any.
+    pub evicted: Option<EvictedLine>,
+}
+
+impl FillOutcome {
+    fn bypassed() -> FillOutcome {
+        FillOutcome {
+            filled: false,
+            way: None,
+            evicted: None,
+        }
+    }
+}
+
+/// One level of the cache hierarchy.
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: CacheStats,
+    /// Optional per-domain way restriction (NoMo / DAWG).  Domains without an
+    /// entry may use every way.
+    partitions: HashMap<DomainId, WayMask>,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("level", &self.config.level)
+            .field("geometry", &self.config.geometry)
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Builds a cache from its configuration; `seed` drives any randomness in
+    /// the replacement policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy construction errors (e.g. Tree-PLRU with a
+    /// non-power-of-two associativity).
+    pub fn new(config: CacheConfig, seed: u64) -> crate::Result<Cache> {
+        let geometry = config.geometry;
+        let policy = config
+            .replacement
+            .build(geometry.num_sets, geometry.associativity, seed)?;
+        Ok(Cache {
+            config,
+            sets: vec![CacheSet::new(geometry.associativity); geometry.num_sets],
+            policy,
+            stats: CacheStats::default(),
+            partitions: HashMap::new(),
+        })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.config.geometry
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (not the cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The name of the replacement policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Restricts `domain` to the given ways for fills and victim selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::EmptyWayMask`] if the mask enables no way.
+    pub fn set_partition(&mut self, domain: DomainId, mask: WayMask) -> crate::Result<()> {
+        let mask = mask.and(WayMask::all(self.geometry().associativity));
+        if mask.is_empty() {
+            return Err(crate::Error::EmptyWayMask);
+        }
+        self.partitions.insert(domain, mask);
+        Ok(())
+    }
+
+    /// Removes all way-partitioning restrictions.
+    pub fn clear_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// The way mask `domain` is allowed to use.
+    pub fn partition_of(&self, domain: DomainId) -> WayMask {
+        self.partitions
+            .get(&domain)
+            .copied()
+            .unwrap_or_else(|| WayMask::all(self.geometry().associativity))
+    }
+
+    fn set_and_tag(&self, addr: PhysAddr) -> (usize, u64) {
+        let g = self.geometry();
+        (g.set_index(addr), g.tag(addr))
+    }
+
+    /// Whether the line containing `addr` is resident (no state change).
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].find(tag).is_some()
+    }
+
+    /// Whether the line containing `addr` is resident *and dirty*.
+    pub fn is_dirty(&self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set]
+            .find(tag)
+            .map(|way| self.sets[set].line(way).is_dirty())
+            .unwrap_or(false)
+    }
+
+    /// Number of dirty lines currently in `set`.
+    ///
+    /// This is the quantity the WB sender controls; exposing it lets tests
+    /// and experiments verify the encoding without going through timing.
+    pub fn dirty_count_in_set(&self, set: usize) -> usize {
+        self.sets[set].dirty_count()
+    }
+
+    /// Number of valid lines currently in `set`.
+    pub fn valid_count_in_set(&self, set: usize) -> usize {
+        self.sets[set].valid_count()
+    }
+
+    /// Number of valid lines in `set` owned by `domain`.
+    pub fn owned_count_in_set(&self, set: usize, domain: DomainId) -> usize {
+        self.sets[set].owned_count(domain)
+    }
+
+    /// Shared access to a set (for experiment introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set(&self, set: usize) -> &CacheSet {
+        &self.sets[set]
+    }
+
+    /// Looks up `addr` for a load.  On a hit the policy is refreshed and the
+    /// hit is counted; on a miss only the miss is counted (the caller then
+    /// decides whether to [`Cache::fill`]).
+    pub fn lookup_read(&mut self, addr: PhysAddr, _ctx: AccessContext) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(addr);
+        match self.sets[set].find(tag) {
+            Some(way) => {
+                self.policy.on_hit(set, way);
+                self.stats.read_hits += 1;
+                Some(way)
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `addr` for a store.  Under a write-back policy a hit marks
+    /// the line dirty — the state transition the WB channel is built on.
+    /// Under write-through the line stays clean (the hierarchy forwards the
+    /// store to the next level).
+    pub fn lookup_write(&mut self, addr: PhysAddr, _ctx: AccessContext) -> Option<usize> {
+        let (set, tag) = self.set_and_tag(addr);
+        match self.sets[set].find(tag) {
+            Some(way) => {
+                self.policy.on_hit(set, way);
+                if self.config.write_policy == WritePolicy::WriteBack {
+                    self.sets[set].line_mut(way).mark_dirty();
+                }
+                self.stats.write_hits += 1;
+                Some(way)
+            }
+            None => {
+                self.stats.write_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs the line containing `addr`.
+    ///
+    /// `dirty` marks the freshly installed line as modified (write-allocate
+    /// store miss under write-back).  `prefetch` attributes the fill to the
+    /// prefetcher in the statistics.
+    ///
+    /// Ways are chosen in this order: an invalid allowed way first, then the
+    /// replacement policy restricted to the domain's partition minus locked
+    /// ways.  If no way is permitted the fill is bypassed.
+    pub fn fill(
+        &mut self,
+        addr: PhysAddr,
+        ctx: AccessContext,
+        dirty: bool,
+        prefetch: bool,
+    ) -> FillOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        // Already resident (can happen with racing prefetches): refresh only.
+        if let Some(way) = self.sets[set].find(tag) {
+            self.policy.on_hit(set, way);
+            if dirty && self.config.write_policy == WritePolicy::WriteBack {
+                self.sets[set].line_mut(way).mark_dirty();
+            }
+            return FillOutcome {
+                filled: true,
+                way: Some(way),
+                evicted: None,
+            };
+        }
+
+        let allowed = self
+            .partition_of(ctx.domain)
+            .and(WayMask::all(self.geometry().associativity));
+        let candidates = allowed.and(
+            // Locked lines can never be victims (PLcache).
+            WayMask::from_bits(!self.sets[set].locked_mask().bits()),
+        );
+
+        let way = if let Some(invalid) = self.sets[set].first_invalid_way(allowed) {
+            Some(invalid)
+        } else {
+            self.policy.choose_victim(set, candidates)
+        };
+        let Some(way) = way else {
+            return FillOutcome::bypassed();
+        };
+
+        let victim = self.sets[set].line(way);
+        let evicted = if victim.is_valid() {
+            let line = EvictedLine {
+                addr: self.geometry().line_addr(set, victim.tag()),
+                dirty: victim.is_dirty(),
+                owner: victim.owner(),
+            };
+            self.stats.evictions += 1;
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(line)
+        } else {
+            None
+        };
+
+        let store_dirty = dirty && self.config.write_policy == WritePolicy::WriteBack;
+        self.sets[set].line_mut(way).fill(tag, store_dirty, ctx.domain);
+        self.policy.on_fill(set, way);
+        self.stats.fills += 1;
+        if prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+
+        FillOutcome {
+            filled: true,
+            way: Some(way),
+            evicted,
+        }
+    }
+
+    /// Receives a dirty write-back from the level above.
+    ///
+    /// If the line is resident it is simply marked dirty; otherwise it is
+    /// installed dirty.  Returns any line evicted to make room.
+    pub fn accept_writeback(&mut self, addr: PhysAddr, ctx: AccessContext) -> Option<EvictedLine> {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(way) = self.sets[set].find(tag) {
+            if self.config.write_policy == WritePolicy::WriteBack {
+                self.sets[set].line_mut(way).mark_dirty();
+            }
+            self.policy.on_hit(set, way);
+            return None;
+        }
+        let outcome = self.fill(addr, ctx, true, false);
+        outcome.evicted
+    }
+
+    /// Invalidates the line containing `addr` (`clflush`), returning
+    /// `Some(was_dirty)` if it was resident.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> Option<bool> {
+        let (set, tag) = self.set_and_tag(addr);
+        let way = self.sets[set].find(tag)?;
+        let was_dirty = self.sets[set].line_mut(way).invalidate();
+        self.policy.on_invalidate(set, way);
+        self.stats.flushes += 1;
+        if was_dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(was_dirty)
+    }
+
+    /// Locks the resident line containing `addr` against eviction (PLcache).
+    /// Returns `true` if the line was resident and is now locked.
+    pub fn lock_line(&mut self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(way) = self.sets[set].find(tag) {
+            self.sets[set].line_mut(way).set_locked(true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unlocks the resident line containing `addr`.  Returns `true` if the
+    /// line was resident.
+    pub fn unlock_line(&mut self, addr: PhysAddr) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        if let Some(way) = self.sets[set].find(tag) {
+            self.sets[set].line_mut(way).set_locked(false);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates the entire cache, returning the number of dirty lines
+    /// discarded (their write-backs are *not* propagated — use only in test
+    /// setup and defense resets).
+    pub fn clear(&mut self) -> usize {
+        let mut dirty = 0;
+        for set in &mut self.sets {
+            dirty += set.clear();
+        }
+        self.policy.reset();
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheLevel, WriteMissPolicy};
+    use crate::policy::PolicyKind;
+
+    fn l1(policy: PolicyKind) -> Cache {
+        Cache::new(CacheConfig::xeon_l1d(policy), 7).unwrap()
+    }
+
+    fn addr(set: usize, tag: u64) -> PhysAddr {
+        PhysAddr::from_set_and_tag(set, tag, CacheGeometry::xeon_l1d())
+    }
+
+    #[test]
+    fn read_miss_then_fill_then_hit() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::default();
+        let a = addr(5, 1);
+        assert!(cache.lookup_read(a, ctx).is_none());
+        let fill = cache.fill(a, ctx, false, false);
+        assert!(fill.filled);
+        assert!(fill.evicted.is_none());
+        assert!(cache.lookup_read(a, ctx).is_some());
+        assert_eq!(cache.stats().read_hits, 1);
+        assert_eq!(cache.stats().read_misses, 1);
+        assert_eq!(cache.stats().fills, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty_under_write_back() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::for_domain(1);
+        let a = addr(0, 3);
+        cache.fill(a, ctx, false, false);
+        assert!(!cache.is_dirty(a));
+        cache.lookup_write(a, ctx);
+        assert!(cache.is_dirty(a), "store hit must set the dirty bit");
+        assert_eq!(cache.dirty_count_in_set(0), 1);
+    }
+
+    #[test]
+    fn write_hit_stays_clean_under_write_through() {
+        let config = CacheConfig::builder(CacheLevel::L1D)
+            .write_policy(WritePolicy::WriteThrough)
+            .write_miss_policy(WriteMissPolicy::NoWriteAllocate)
+            .build()
+            .unwrap();
+        let mut cache = Cache::new(config, 0).unwrap();
+        let ctx = AccessContext::default();
+        let a = addr(0, 3);
+        cache.fill(a, ctx, true, false);
+        assert!(
+            !cache.is_dirty(a),
+            "write-through caches never hold dirty lines"
+        );
+        cache.lookup_write(a, ctx);
+        assert!(!cache.is_dirty(a));
+    }
+
+    #[test]
+    fn filling_a_full_set_evicts_and_reports_dirty_victims() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::default();
+        let set = 9;
+        // Fill the set with 8 lines; make the first one dirty.
+        for tag in 0..8u64 {
+            cache.fill(addr(set, tag), ctx, tag == 0, false);
+        }
+        assert_eq!(cache.dirty_count_in_set(set), 1);
+        // The 9th fill must evict the LRU line, which is the dirty tag 0.
+        let outcome = cache.fill(addr(set, 100), ctx, false, false);
+        let evicted = outcome.evicted.expect("a line must be evicted");
+        assert!(evicted.dirty);
+        assert_eq!(cache.stats().writebacks, 1);
+        assert_eq!(cache.dirty_count_in_set(set), 0);
+    }
+
+    #[test]
+    fn locked_lines_are_never_evicted() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::default();
+        let set = 2;
+        let protected = addr(set, 0);
+        cache.fill(protected, ctx, true, false);
+        assert!(cache.lock_line(protected));
+        // Fill far more lines than the associativity.
+        for tag in 1..32u64 {
+            cache.fill(addr(set, tag), ctx, false, false);
+        }
+        assert!(cache.contains(protected), "locked line must survive");
+        assert!(cache.is_dirty(protected));
+        assert!(cache.unlock_line(protected));
+        for tag in 32..64u64 {
+            cache.fill(addr(set, tag), ctx, false, false);
+        }
+        assert!(!cache.contains(protected), "unlocked line is evictable again");
+    }
+
+    #[test]
+    fn partitions_confine_fills_to_allowed_ways() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        // Domain 1 may only use ways 0-3, domain 2 only ways 4-7 (NoMo).
+        cache.set_partition(1, WayMask::range(0, 4)).unwrap();
+        cache.set_partition(2, WayMask::range(4, 8)).unwrap();
+        let set = 11;
+        for tag in 0..16u64 {
+            cache.fill(addr(set, tag), AccessContext::for_domain(1), false, false);
+        }
+        assert_eq!(cache.owned_count_in_set(set, 1), 4);
+        for tag in 100..104u64 {
+            cache.fill(addr(set, tag), AccessContext::for_domain(2), false, false);
+        }
+        assert_eq!(cache.owned_count_in_set(set, 1), 4, "domain 2 must not evict domain 1");
+        assert_eq!(cache.owned_count_in_set(set, 2), 4);
+        assert!(cache.set_partition(1, WayMask::EMPTY).is_err());
+    }
+
+    #[test]
+    fn accept_writeback_marks_or_installs_dirty() {
+        let mut cache = Cache::new(CacheConfig::xeon_l2(), 3).unwrap();
+        let ctx = AccessContext::default();
+        let g = cache.geometry();
+        let a = PhysAddr::from_set_and_tag(17, 4, g);
+        // Not resident: installed dirty.
+        assert!(cache.accept_writeback(a, ctx).is_none());
+        assert!(cache.is_dirty(a));
+        // Resident clean line becomes dirty.
+        let b = PhysAddr::from_set_and_tag(17, 5, g);
+        cache.fill(b, ctx, false, false);
+        assert!(!cache.is_dirty(b));
+        cache.accept_writeback(b, ctx);
+        assert!(cache.is_dirty(b));
+    }
+
+    #[test]
+    fn invalidate_reports_dirtiness_and_counts_flush() {
+        let mut cache = l1(PolicyKind::TreePlru);
+        let ctx = AccessContext::default();
+        let a = addr(30, 2);
+        assert_eq!(cache.invalidate(a), None);
+        cache.fill(a, ctx, true, false);
+        assert_eq!(cache.invalidate(a), Some(true));
+        assert!(!cache.contains(a));
+        assert_eq!(cache.stats().flushes, 1);
+        assert_eq!(cache.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_reports_dirty_lines() {
+        let mut cache = l1(PolicyKind::Random);
+        let ctx = AccessContext::default();
+        cache.fill(addr(1, 1), ctx, true, false);
+        cache.fill(addr(2, 1), ctx, true, false);
+        cache.fill(addr(3, 1), ctx, false, false);
+        assert_eq!(cache.clear(), 2);
+        assert_eq!(cache.valid_count_in_set(1), 0);
+    }
+
+    #[test]
+    fn refilling_resident_line_does_not_evict() {
+        let mut cache = l1(PolicyKind::TreePlru);
+        let ctx = AccessContext::default();
+        let a = addr(4, 9);
+        cache.fill(a, ctx, false, false);
+        let again = cache.fill(a, ctx, true, false);
+        assert!(again.filled);
+        assert!(again.evicted.is_none());
+        assert!(cache.is_dirty(a), "dirty refill upgrades the line");
+        assert_eq!(cache.stats().fills, 1, "second fill is a no-op refresh");
+    }
+
+    #[test]
+    fn debug_formatting_mentions_policy() {
+        let cache = l1(PolicyKind::TreePlru);
+        let text = format!("{cache:?}");
+        assert!(text.contains("Tree-PLRU"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Cache-line state.
+//!
+//! Each way of a set holds a [`CacheLine`]: a valid bit, the tag, the **dirty
+//! bit** that the WB channel abuses, an optional lock bit (PLcache defense)
+//! and the identifier of the protection domain that installed the line
+//! (DAWG defense, perf attribution).
+
+use serde::{Deserialize, Serialize};
+
+/// The protection/attribution domain a line belongs to.
+///
+/// In the covert-channel experiments domain 0 is the receiver, domain 1 the
+/// sender, and higher values are used for noise processes and benign
+/// co-runners.  Defenses such as DAWG use the domain to decide way
+/// visibility.
+pub type DomainId = u16;
+
+/// State of one cache line (one way of one set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Whether the way currently holds a valid line.
+    valid: bool,
+    /// Tag of the held line (meaningful only when `valid`).
+    tag: u64,
+    /// Dirty bit: the line was modified and must be written back on eviction.
+    dirty: bool,
+    /// Lock bit: a locked line may not be selected as a victim (PLcache).
+    locked: bool,
+    /// Domain that installed the line.
+    owner: DomainId,
+}
+
+impl CacheLine {
+    /// An invalid (empty) way.
+    pub fn invalid() -> CacheLine {
+        CacheLine {
+            valid: false,
+            tag: 0,
+            dirty: false,
+            locked: false,
+            owner: 0,
+        }
+    }
+
+    /// Installs a new line in this way, replacing whatever was there.
+    ///
+    /// The dirty bit of the new line is `dirty` (true when the fill is caused
+    /// by a write-allocate store miss).
+    pub fn fill(&mut self, tag: u64, dirty: bool, owner: DomainId) {
+        self.valid = true;
+        self.tag = tag;
+        self.dirty = dirty;
+        self.locked = false;
+        self.owner = owner;
+    }
+
+    /// Invalidates the way (e.g. `clflush`), returning whether the line was
+    /// dirty so the caller can model the write-back.
+    pub fn invalidate(&mut self) -> bool {
+        let was_dirty = self.valid && self.dirty;
+        self.valid = false;
+        self.dirty = false;
+        self.locked = false;
+        was_dirty
+    }
+
+    /// Whether the way holds a valid line.
+    pub fn is_valid(self) -> bool {
+        self.valid
+    }
+
+    /// Whether the line is dirty (valid and modified).
+    pub fn is_dirty(self) -> bool {
+        self.valid && self.dirty
+    }
+
+    /// Whether the line is locked against eviction.
+    pub fn is_locked(self) -> bool {
+        self.valid && self.locked
+    }
+
+    /// The stored tag.  Only meaningful when [`CacheLine::is_valid`] is true.
+    pub fn tag(self) -> u64 {
+        self.tag
+    }
+
+    /// The domain that installed the line.
+    pub fn owner(self) -> DomainId {
+        self.owner
+    }
+
+    /// Marks the line dirty (a store hit under a write-back policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is invalid: the cache controller
+    /// must never mark an empty way dirty.
+    pub fn mark_dirty(&mut self) {
+        debug_assert!(self.valid, "cannot mark an invalid line dirty");
+        self.dirty = true;
+    }
+
+    /// Clears the dirty bit (after a write-back or under write-through).
+    pub fn clear_dirty(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Sets or clears the lock bit (PLcache).
+    pub fn set_locked(&mut self, locked: bool) {
+        if self.valid {
+            self.locked = locked;
+        }
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine::invalid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_line_is_clean_and_unlocked() {
+        let line = CacheLine::invalid();
+        assert!(!line.is_valid());
+        assert!(!line.is_dirty());
+        assert!(!line.is_locked());
+    }
+
+    #[test]
+    fn fill_sets_tag_owner_and_dirty() {
+        let mut line = CacheLine::invalid();
+        line.fill(0xdead, true, 3);
+        assert!(line.is_valid());
+        assert!(line.is_dirty());
+        assert_eq!(line.tag(), 0xdead);
+        assert_eq!(line.owner(), 3);
+    }
+
+    #[test]
+    fn invalidate_reports_dirtyness_exactly_once() {
+        let mut line = CacheLine::invalid();
+        line.fill(1, true, 0);
+        assert!(line.invalidate(), "first invalidate sees the dirty line");
+        assert!(!line.invalidate(), "second invalidate sees nothing");
+        assert!(!line.is_valid());
+    }
+
+    #[test]
+    fn mark_and_clear_dirty() {
+        let mut line = CacheLine::invalid();
+        line.fill(7, false, 1);
+        assert!(!line.is_dirty());
+        line.mark_dirty();
+        assert!(line.is_dirty());
+        line.clear_dirty();
+        assert!(!line.is_dirty());
+    }
+
+    #[test]
+    fn locking_requires_validity() {
+        let mut line = CacheLine::invalid();
+        line.set_locked(true);
+        assert!(!line.is_locked(), "an invalid line cannot be locked");
+        line.fill(9, false, 0);
+        line.set_locked(true);
+        assert!(line.is_locked());
+        line.set_locked(false);
+        assert!(!line.is_locked());
+    }
+
+    #[test]
+    fn refill_clears_lock() {
+        let mut line = CacheLine::invalid();
+        line.fill(1, false, 0);
+        line.set_locked(true);
+        line.fill(2, false, 1);
+        assert!(!line.is_locked());
+        assert_eq!(line.tag(), 2);
+    }
+}

@@ -1,0 +1,270 @@
+//! Approximation of the measured Intel Xeon E5-2650 L1D replacement policy.
+
+use super::{PolicyRng, ReplacementPolicy, TreePlru};
+use crate::waymask::WayMask;
+
+/// An imperfect Tree-PLRU that reproduces the *shape* of the paper's Table II
+/// measurements on the Xeon E5-2650.
+///
+/// The actual Sandy Bridge L1 replacement policy is undocumented.  The paper
+/// observes empirically that, after a resident line is touched, filling
+///
+/// * 8 further distinct lines evicts it only ~68.8 % of the time,
+/// * 9 further lines ~81.7 % of the time,
+/// * 10 further lines always.
+///
+/// We model this as a Tree-PLRU whose victim choice deviates from the tree
+/// with probability [`IntelLike::mispredict`] (capturing whatever adaptive
+/// insertion/promotion heuristics and prefetcher interference the real core
+/// has), combined with an anti-starvation rule: a way that has not been
+/// touched for [`IntelLike::max_staleness`] consecutive fills to its set is
+/// forcibly selected.  The default staleness bound of 9 makes a 10-line sweep
+/// deterministic, matching the paper's "N = 10 always works" observation on
+/// which the WB channel's replacement-set size is based.
+///
+/// This is an approximation and is documented as such in `DESIGN.md` and
+/// `EXPERIMENTS.md`; the absolute probabilities depend on the tuning
+/// parameters but the qualitative behaviour (less deterministic than PLRU,
+/// guaranteed eviction at N = 10) is what the reproduction relies on.
+#[derive(Debug, Clone)]
+pub struct IntelLike {
+    plru: TreePlru,
+    rng: PolicyRng,
+    ways: usize,
+    mispredict: f64,
+    max_staleness: u32,
+    /// Fills survived since last touch, per (set, way).
+    staleness: Vec<u32>,
+}
+
+impl IntelLike {
+    /// Default probability that the victim deviates from the PLRU choice.
+    pub const DEFAULT_MISPREDICT: f64 = 0.42;
+    /// Default number of fills a line may survive untouched.
+    pub const DEFAULT_MAX_STALENESS: u32 = 9;
+
+    /// Creates the policy with the default tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnsupportedAssociativity`] unless `ways` is a
+    /// power of two (inherited from the underlying Tree-PLRU).
+    pub fn new(num_sets: usize, ways: usize, seed: u64) -> crate::Result<IntelLike> {
+        Self::with_parameters(
+            num_sets,
+            ways,
+            seed,
+            Self::DEFAULT_MISPREDICT,
+            Self::DEFAULT_MAX_STALENESS,
+        )
+    }
+
+    /// Creates the policy with explicit `mispredict` probability and
+    /// `max_staleness` bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::UnsupportedAssociativity`] unless `ways` is a
+    /// power of two.
+    pub fn with_parameters(
+        num_sets: usize,
+        ways: usize,
+        seed: u64,
+        mispredict: f64,
+        max_staleness: u32,
+    ) -> crate::Result<IntelLike> {
+        let mut plru = TreePlru::new(num_sets, ways)?;
+        let mut rng = PolicyRng::new(seed);
+        // Real hardware never starts from an all-zero tree: randomise.
+        for set in 0..num_sets {
+            plru.set_raw_bits(set, rng.next_u64());
+        }
+        Ok(IntelLike {
+            plru,
+            rng,
+            ways,
+            mispredict: mispredict.clamp(0.0, 1.0),
+            max_staleness: max_staleness.max(1),
+            staleness: vec![0; num_sets * ways],
+        })
+    }
+
+    /// The configured mispredict probability.
+    pub fn mispredict(&self) -> f64 {
+        self.mispredict
+    }
+
+    /// The configured staleness bound.
+    pub fn max_staleness(&self) -> u32 {
+        self.max_staleness
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+}
+
+impl ReplacementPolicy for IntelLike {
+    fn name(&self) -> &'static str {
+        "Intel-like"
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize) {
+        self.plru.on_hit(set, way);
+        let idx = self.idx(set, way);
+        self.staleness[idx] = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        self.plru.on_fill(set, way);
+        // Every other way in the set ages by one fill; the filled way resets.
+        for w in 0..self.ways {
+            let idx = self.idx(set, w);
+            if w == way {
+                self.staleness[idx] = 0;
+            } else {
+                self.staleness[idx] = self.staleness[idx].saturating_add(1);
+            }
+        }
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize) {
+        self.plru.on_invalidate(set, way);
+        let idx = self.idx(set, way);
+        self.staleness[idx] = 0;
+    }
+
+    fn choose_victim(&mut self, set: usize, candidates: WayMask) -> Option<usize> {
+        let mask = candidates.and(WayMask::all(self.ways));
+        if mask.is_empty() {
+            return None;
+        }
+        // Anti-starvation: a way that survived `max_staleness` fills is
+        // evicted unconditionally (this is what makes a 10-line replacement
+        // set reliable in the paper's measurements).  Among several stale
+        // ways the most stale one goes first.
+        let most_stale = mask
+            .iter()
+            .max_by_key(|&w| self.staleness[self.idx(set, w)])
+            .filter(|&w| self.staleness[self.idx(set, w)] >= self.max_staleness);
+        if let Some(stale) = most_stale {
+            return Some(stale);
+        }
+        let plru_choice = self.plru.choose_victim(set, mask)?;
+        if mask.count() > 1 && self.rng.chance(self.mispredict) {
+            // Deviate: pick uniformly among the other candidates.
+            let others: Vec<usize> = mask.iter().filter(|&w| w != plru_choice).collect();
+            let pick = others[self.rng.below(others.len())];
+            return Some(pick);
+        }
+        Some(plru_choice)
+    }
+
+    fn reset(&mut self) {
+        self.plru.reset();
+        self.staleness.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the Table II experiment at policy level: the set is warm, the
+    /// tracked line is the most recently touched way (the paper's "line 0"
+    /// is accessed immediately before the sweep), then `n` new lines are
+    /// filled.  Returns the fraction of trials in which the tracked line was
+    /// evicted.
+    fn eviction_probability(n: usize, trials: usize, seed: u64) -> f64 {
+        let ways = 8;
+        let mut evicted = 0usize;
+        for trial in 0..trials {
+            let mut policy = IntelLike::new(1, ways, seed + trial as u64).unwrap();
+            // Pre-fill the set (warm state), touching every way once in a
+            // pseudo-random order; the tracked way is touched last.
+            let tracked_way = trial % ways;
+            for w in 0..ways {
+                let way = (w * 5 + trial) % ways;
+                if way != tracked_way {
+                    policy.on_fill(0, way);
+                }
+            }
+            policy.on_fill(0, tracked_way);
+            let mut present = true;
+            for _ in 0..n {
+                let v = policy.choose_victim(0, WayMask::all(ways)).unwrap();
+                if v == tracked_way {
+                    present = false;
+                }
+                policy.on_fill(0, v);
+            }
+            if !present {
+                evicted += 1;
+            }
+        }
+        evicted as f64 / trials as f64
+    }
+
+    #[test]
+    fn eviction_probability_increases_with_replacement_set_size() {
+        let p8 = eviction_probability(8, 600, 11);
+        let p9 = eviction_probability(9, 600, 22);
+        let p10 = eviction_probability(10, 600, 33);
+        assert!(p8 < p9 + 1e-9, "p8={p8} should not exceed p9={p9}");
+        assert!(p9 <= p10, "p9={p9} should not exceed p10={p10}");
+        assert!(p8 < 0.999, "8 fills must not be fully reliable (Table II)");
+        assert!(
+            (p10 - 1.0).abs() < 1e-9,
+            "10 fills must always evict (Table II), got {p10}"
+        );
+    }
+
+    #[test]
+    fn ten_fills_always_evict_regardless_of_seed() {
+        for seed in 0..50u64 {
+            let p = eviction_probability(10, 20, 1000 + seed * 97);
+            assert!((p - 1.0).abs() < 1e-9, "seed {seed}: p10 = {p}");
+        }
+    }
+
+    #[test]
+    fn parameters_are_clamped_and_accessible() {
+        let policy = IntelLike::with_parameters(1, 8, 0, 2.0, 0).unwrap();
+        assert!((policy.mispredict() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(policy.max_staleness(), 1);
+    }
+
+    #[test]
+    fn zero_mispredict_behaves_like_plru_for_fresh_state() {
+        let mut a = IntelLike::with_parameters(1, 8, 7, 0.0, 100).unwrap();
+        let mut b = TreePlru::new(1, 8).unwrap();
+        // Align the randomised initial tree of the Intel-like policy with
+        // the plain PLRU by resetting both.
+        a.reset();
+        b.reset();
+        for step in 0..64usize {
+            let va = a.choose_victim(0, WayMask::all(8)).unwrap();
+            let vb = b.choose_victim(0, WayMask::all(8)).unwrap();
+            assert_eq!(va, vb, "diverged at step {step}");
+            a.on_fill(0, va);
+            b.on_fill(0, vb);
+        }
+    }
+
+    #[test]
+    fn respects_candidate_mask() {
+        let mut policy = IntelLike::new(1, 8, 3).unwrap();
+        let mask = WayMask::EMPTY.with(0).with(4);
+        for _ in 0..64 {
+            let v = policy.choose_victim(0, mask).unwrap();
+            assert!(v == 0 || v == 4);
+            policy.on_fill(0, v);
+        }
+        assert_eq!(policy.choose_victim(0, WayMask::EMPTY), None);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_ways() {
+        assert!(IntelLike::new(1, 12, 0).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Cache-set storage.
+//!
+//! A [`CacheSet`] is the tag store for one set: `W` [`CacheLine`]s plus the
+//! small amount of bookkeeping the WB-channel experiments need to introspect
+//! (dirty-line counts, resident tags).  All replacement decisions live in
+//! [`crate::policy`]; the set is purely storage.
+
+use crate::line::{CacheLine, DomainId};
+use crate::waymask::WayMask;
+use serde::{Deserialize, Serialize};
+
+/// One set of a set-associative cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheSet {
+    lines: Vec<CacheLine>,
+}
+
+impl CacheSet {
+    /// Creates an empty set with `ways` ways.
+    pub fn new(ways: usize) -> CacheSet {
+        CacheSet {
+            lines: vec![CacheLine::invalid(); ways],
+        }
+    }
+
+    /// Number of ways.
+    pub fn ways(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Finds the way holding `tag`, if resident.
+    pub fn find(&self, tag: u64) -> Option<usize> {
+        self.lines
+            .iter()
+            .position(|line| line.is_valid() && line.tag() == tag)
+    }
+
+    /// Returns the first invalid way, if any (fills prefer empty ways before
+    /// running the replacement policy, as real tag pipelines do).
+    pub fn first_invalid_way(&self, allowed: WayMask) -> Option<usize> {
+        allowed
+            .iter()
+            .filter(|&w| w < self.lines.len())
+            .find(|&w| !self.lines[w].is_valid())
+    }
+
+    /// Shared access to a way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn line(&self, way: usize) -> &CacheLine {
+        &self.lines[way]
+    }
+
+    /// Exclusive access to a way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range.
+    pub fn line_mut(&mut self, way: usize) -> &mut CacheLine {
+        &mut self.lines[way]
+    }
+
+    /// Number of valid lines in the set.
+    pub fn valid_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_valid()).count()
+    }
+
+    /// Number of dirty lines in the set.
+    ///
+    /// This is the quantity the WB sender modulates (0–8 dirty lines encode
+    /// the symbol) and the receiver infers from the replacement latency.
+    pub fn dirty_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_dirty()).count()
+    }
+
+    /// Number of locked lines in the set (PLcache defense).
+    pub fn locked_count(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_locked()).count()
+    }
+
+    /// Mask of ways whose lines are locked.
+    pub fn locked_mask(&self) -> WayMask {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_locked())
+            .map(|(w, _)| w)
+            .collect()
+    }
+
+    /// Tags of all valid lines, in way order.
+    pub fn resident_tags(&self) -> Vec<u64> {
+        self.lines
+            .iter()
+            .filter(|l| l.is_valid())
+            .map(|l| l.tag())
+            .collect()
+    }
+
+    /// Number of valid lines owned by `domain`.
+    pub fn owned_count(&self, domain: DomainId) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.is_valid() && l.owner() == domain)
+            .count()
+    }
+
+    /// Iterates over `(way, line)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &CacheLine)> {
+        self.lines.iter().enumerate()
+    }
+
+    /// Invalidates every line, returning how many were dirty.
+    pub fn clear(&mut self) -> usize {
+        let mut dirty = 0;
+        for line in &mut self.lines {
+            if line.invalidate() {
+                dirty += 1;
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_is_empty() {
+        let set = CacheSet::new(8);
+        assert_eq!(set.ways(), 8);
+        assert_eq!(set.valid_count(), 0);
+        assert_eq!(set.dirty_count(), 0);
+        assert_eq!(set.find(0), None);
+        assert_eq!(set.first_invalid_way(WayMask::all(8)), Some(0));
+    }
+
+    #[test]
+    fn find_locates_resident_tags() {
+        let mut set = CacheSet::new(4);
+        set.line_mut(2).fill(0xaa, false, 1);
+        set.line_mut(3).fill(0xbb, true, 2);
+        assert_eq!(set.find(0xaa), Some(2));
+        assert_eq!(set.find(0xbb), Some(3));
+        assert_eq!(set.find(0xcc), None);
+        assert_eq!(set.valid_count(), 2);
+        assert_eq!(set.dirty_count(), 1);
+        assert_eq!(set.owned_count(1), 1);
+        assert_eq!(set.owned_count(2), 1);
+        assert_eq!(set.owned_count(3), 0);
+        assert_eq!(set.resident_tags(), vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn first_invalid_way_respects_mask() {
+        let mut set = CacheSet::new(4);
+        set.line_mut(0).fill(1, false, 0);
+        // Way 1 is invalid but excluded by the mask; way 3 is the answer.
+        let mask = WayMask::EMPTY.with(0).with(3);
+        assert_eq!(set.first_invalid_way(mask), Some(3));
+        set.line_mut(3).fill(2, false, 0);
+        assert_eq!(set.first_invalid_way(mask), None);
+    }
+
+    #[test]
+    fn dirty_count_tracks_the_wb_symbol() {
+        let mut set = CacheSet::new(8);
+        for d in 0..8 {
+            set.line_mut(d).fill(d as u64, true, 1);
+            assert_eq!(set.dirty_count(), d + 1);
+        }
+    }
+
+    #[test]
+    fn locked_mask_and_clear() {
+        let mut set = CacheSet::new(4);
+        set.line_mut(1).fill(5, true, 0);
+        set.line_mut(1).set_locked(true);
+        set.line_mut(2).fill(6, true, 0);
+        assert_eq!(set.locked_count(), 1);
+        assert_eq!(set.locked_mask().bits(), 0b10);
+        let dirty = set.clear();
+        assert_eq!(dirty, 2);
+        assert_eq!(set.valid_count(), 0);
+        assert_eq!(set.locked_count(), 0);
+    }
+}

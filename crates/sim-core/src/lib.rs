@@ -1,0 +1,79 @@
+//! # sim-core
+//!
+//! The execution substrate for the reproduction of *Abusing Cache Line Dirty
+//! States to Leak Information in Commercial Processors* (HPCA 2022): a
+//! simulated hyper-threaded core with a time-stamp counter, OS noise,
+//! per-process address spaces and perf counters, sitting on top of the
+//! [`sim_cache`] hierarchy.
+//!
+//! The paper's attack environment is two Linux processes pinned to the two
+//! hyper-threads of one Xeon E5-2650 core.  The pieces of that environment
+//! that matter for the channel are modelled here:
+//!
+//! * [`machine::Machine`] — the core itself: a cycle clock, the cache
+//!   hierarchy, an interleaving executor for concurrent [`program::Actor`]s,
+//!   and per-domain [`perf`] counters (the simulator's version of Linux
+//!   `perf`).
+//! * [`tsc`] — the `rdtscp` measurement model (serialisation overhead,
+//!   granularity, jitter) used for all latency measurements.
+//! * [`process`] / [`memlayout`] — separate address spaces (no shared memory)
+//!   and the construction of target-set lines and replacement sets from
+//!   virtual addresses.
+//! * [`pointer_chase`] — the randomly permuted, serialised measurement walk
+//!   of the paper's Figure 3.
+//! * [`sched`] — OS interruption noise, the source of bit-insertion and
+//!   bit-loss errors.
+//! * [`noise`] / [`workload`] — noisy-cache-line injectors (Figure 8) and the
+//!   `g++`-like benign co-runner used for the stealthiness baselines
+//!   (Tables VI and VII).
+//!
+//! ## Example: measuring a replacement sweep
+//!
+//! ```rust
+//! use sim_core::machine::{Machine, MachineConfig};
+//! use sim_core::memlayout::SetLines;
+//! use sim_core::process::{AddressSpace, ProcessId};
+//! use sim_cache::policy::PolicyKind;
+//!
+//! # fn main() -> Result<(), sim_cache::Error> {
+//! let mut machine = Machine::new(MachineConfig::ideal(PolicyKind::TrueLru, 1))?;
+//! let geometry = machine.l1_geometry();
+//! let receiver = AddressSpace::new(ProcessId(1));
+//! let replacement = SetLines::build(receiver, geometry, 13, 10, 1_000);
+//!
+//! // Warm the lines, then measure a sweep of the target set.
+//! for &line in replacement.lines() {
+//!     machine.read(1, line);
+//! }
+//! let (measured, _true_latency) = machine.measured_chase(1, replacement.lines());
+//! assert!(measured > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod machine;
+pub mod memlayout;
+pub mod noise;
+pub mod perf;
+pub mod pointer_chase;
+pub mod process;
+pub mod program;
+pub mod sched;
+pub mod tsc;
+pub mod workload;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use crate::machine::{Machine, MachineConfig, RunSummary};
+    pub use crate::memlayout::{ChannelLayout, SetLines};
+    pub use crate::perf::{PerfCounters, PerfLevel};
+    pub use crate::pointer_chase::PointerChase;
+    pub use crate::process::{AddressSpace, Process, ProcessId};
+    pub use crate::program::{Action, Actor, Completion, ScriptedActor};
+    pub use crate::sched::InterruptConfig;
+    pub use crate::tsc::{TscConfig, TscModel};
+}

@@ -1,0 +1,554 @@
+//! The simulated machine: a hyper-threaded core in front of the cache
+//! hierarchy.
+//!
+//! [`Machine`] owns the [`sim_cache::hierarchy::CacheHierarchy`], a global
+//! cycle counter (the simulated time-stamp counter), the measurement-noise
+//! model, per-domain perf counters and the OS-interrupt noise model.  It can
+//! be driven in two ways:
+//!
+//! * **directly** — experiment code calls [`Machine::read`],
+//!   [`Machine::write`], [`Machine::measured_chase`] etc.; each call advances
+//!   the clock by the access latency.  This is how the single-threaded
+//!   calibration experiments (Table IV, Figure 4) run.
+//! * **as an SMT core** — [`Machine::run`] interleaves a set of [`Actor`]s
+//!   (sender, receiver, noise processes, benign co-runners) on the shared
+//!   hierarchy in event order, which is how the covert-channel transmissions
+//!   and the stealthiness experiments run.  This mirrors the paper's setup of
+//!   two hyper-threads pinned to one physical core with `sched_setaffinity`.
+
+use crate::perf::{PerfCounters, PerfStore};
+use crate::program::{Action, Actor, Completion};
+use crate::sched::{InterruptConfig, InterruptModel};
+use crate::tsc::{TscConfig, TscModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sim_cache::addr::{CacheGeometry, PhysAddr};
+use sim_cache::cache::AccessContext;
+use sim_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
+use sim_cache::line::DomainId;
+use sim_cache::outcome::AccessOutcome;
+use sim_cache::policy::PolicyKind;
+
+/// Configuration of a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Cache-hierarchy configuration.
+    pub hierarchy: HierarchyConfig,
+    /// Measurement (rdtscp) model.
+    pub tsc: TscConfig,
+    /// OS interruption noise applied to every hardware thread.
+    pub interrupts: InterruptConfig,
+    /// Core clock in GHz, used to convert cycles into seconds/kbps
+    /// (the paper's machine runs at 2.2 GHz).
+    pub clock_ghz: f64,
+    /// Master seed for all machine-level randomness.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation machine: Xeon E5-2650 caches, 2.2 GHz clock,
+    /// realistic rdtscp noise and a quiet pinned-core interrupt profile.
+    pub fn xeon_e5_2650(l1_policy: PolicyKind, seed: u64) -> MachineConfig {
+        MachineConfig {
+            hierarchy: HierarchyConfig::xeon_e5_2650(l1_policy, seed),
+            tsc: TscConfig::xeon_e5_2650(),
+            interrupts: InterruptConfig::pinned_quiet(),
+            clock_ghz: 2.2,
+            seed,
+        }
+    }
+
+    /// A noiseless machine for unit tests and latency calibration.
+    pub fn ideal(l1_policy: PolicyKind, seed: u64) -> MachineConfig {
+        MachineConfig {
+            hierarchy: HierarchyConfig::xeon_e5_2650(l1_policy, seed),
+            tsc: TscConfig::ideal(),
+            interrupts: InterruptConfig::none(),
+            clock_ghz: 2.2,
+            seed,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, 0)
+    }
+}
+
+/// Summary of one [`Machine::run`] invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Cycle at which the run stopped.
+    pub finished_at: u64,
+    /// Number of actions executed per actor (same order as passed to `run`).
+    pub actions: Vec<u64>,
+    /// Cycles each actor spent stalled by OS interruptions.
+    pub stalled_cycles: Vec<u64>,
+    /// Whether the run ended because the cycle limit was reached (rather than
+    /// all actors finishing).
+    pub hit_limit: bool,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    hierarchy: CacheHierarchy,
+    tsc: TscModel,
+    rng: StdRng,
+    now: u64,
+    perf: PerfStore,
+}
+
+impl Machine {
+    /// Builds a machine from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-configuration errors.
+    pub fn new(config: MachineConfig) -> Result<Machine, sim_cache::Error> {
+        Ok(Machine {
+            hierarchy: CacheHierarchy::new(config.hierarchy)?,
+            tsc: TscModel::new(config.tsc),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x6d61_6368),
+            now: 0,
+            perf: PerfStore::new(),
+            config,
+        })
+    }
+
+    /// Convenience constructor for the paper's machine.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the built-in configuration is valid.
+    pub fn xeon_e5_2650(l1_policy: PolicyKind, seed: u64) -> Machine {
+        Machine::new(MachineConfig::xeon_e5_2650(l1_policy, seed))
+            .expect("built-in configuration is valid")
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current cycle (the simulated time-stamp counter).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Core clock in GHz.
+    pub fn clock_ghz(&self) -> f64 {
+        self.config.clock_ghz
+    }
+
+    /// The L1 data-cache geometry.
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        self.hierarchy.l1_geometry()
+    }
+
+    /// Shared access to the cache hierarchy.
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Exclusive access to the cache hierarchy (defense configuration,
+    /// direct state inspection in tests).
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Perf counters of `domain`.
+    pub fn perf(&self, domain: DomainId) -> PerfCounters {
+        self.perf.counters(domain)
+    }
+
+    /// Resets all perf counters and hierarchy statistics.
+    pub fn reset_counters(&mut self) {
+        self.perf.reset();
+        self.hierarchy.reset_stats();
+    }
+
+    /// Advances the clock without doing anything (models pure compute).
+    pub fn advance(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// Performs a demand load for `domain` and advances the clock.
+    pub fn read(&mut self, domain: DomainId, addr: PhysAddr) -> AccessOutcome {
+        let outcome = self
+            .hierarchy
+            .read(addr, AccessContext::for_domain(domain));
+        self.perf.record(domain, &outcome);
+        self.now += outcome.cycles;
+        outcome
+    }
+
+    /// Performs a demand store for `domain` and advances the clock.
+    pub fn write(&mut self, domain: DomainId, addr: PhysAddr) -> AccessOutcome {
+        let outcome = self
+            .hierarchy
+            .write(addr, AccessContext::for_domain(domain));
+        self.perf.record(domain, &outcome);
+        self.now += outcome.cycles;
+        outcome
+    }
+
+    /// Flushes a line for `domain` and advances the clock.
+    pub fn flush(&mut self, domain: DomainId, addr: PhysAddr) -> AccessOutcome {
+        let outcome = self
+            .hierarchy
+            .flush(addr, AccessContext::for_domain(domain));
+        self.perf.record(domain, &outcome);
+        self.now += outcome.cycles;
+        outcome
+    }
+
+    /// Executes a serialised pointer-chasing walk and returns
+    /// `(measured, true_latency)`: the value the attacker's `rdtscp` pair
+    /// reports and the underlying true latency.
+    pub fn measured_chase(&mut self, domain: DomainId, addrs: &[PhysAddr]) -> (u64, u64) {
+        let mut total = 0u64;
+        for &addr in addrs {
+            let outcome = self
+                .hierarchy
+                .read(addr, AccessContext::for_domain(domain));
+            self.perf.record(domain, &outcome);
+            total += outcome.cycles;
+        }
+        self.now += total;
+        let measured = self.tsc.measure(total, &mut self.rng);
+        (measured, total)
+    }
+
+    /// Executes a single measured load, returning `(measured, outcome)`.
+    pub fn measured_read(&mut self, domain: DomainId, addr: PhysAddr) -> (u64, AccessOutcome) {
+        let outcome = self
+            .hierarchy
+            .read(addr, AccessContext::for_domain(domain));
+        self.perf.record(domain, &outcome);
+        self.now += outcome.cycles;
+        let measured = self.tsc.measure(outcome.cycles, &mut self.rng);
+        (measured, outcome)
+    }
+
+    /// Runs a set of actors concurrently (one hardware thread each) until
+    /// every actor is done or `limit` cycles have elapsed.
+    ///
+    /// Actions execute atomically in global time order; each actor's next
+    /// action starts when its previous one finished, so the actors genuinely
+    /// overlap in time on the shared cache hierarchy, as two hyper-threads
+    /// do.  OS interruptions stall individual actors according to the
+    /// machine's [`InterruptConfig`].
+    pub fn run(&mut self, actors: &mut [&mut dyn Actor], limit: u64) -> RunSummary {
+        struct ThreadState {
+            ready_at: u64,
+            done: bool,
+            interrupts: InterruptModel,
+            actions: u64,
+            stalled: u64,
+        }
+
+        let mut threads: Vec<ThreadState> = (0..actors.len())
+            .map(|_| ThreadState {
+                ready_at: self.now,
+                done: false,
+                interrupts: InterruptModel::new(&self.config.interrupts, &mut self.rng),
+                actions: 0,
+                stalled: 0,
+            })
+            .collect();
+        let deadline = self.now + limit;
+        let mut hit_limit = false;
+
+        loop {
+            // Pick the runnable thread with the earliest ready time.
+            let next = threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .min_by_key(|(_, t)| t.ready_at)
+                .map(|(i, t)| (i, t.ready_at));
+            let Some((idx, ready_at)) = next else {
+                break; // every actor finished
+            };
+            if ready_at >= deadline {
+                hit_limit = true;
+                break;
+            }
+            self.now = self.now.max(ready_at);
+
+            // OS interruption?
+            if let Some(stall) =
+                threads[idx]
+                    .interrupts
+                    .poll(self.now, &self.config.interrupts, &mut self.rng)
+            {
+                threads[idx].ready_at = self.now + stall;
+                threads[idx].stalled += stall;
+                continue;
+            }
+
+            let action = actors[idx].next_action(self.now);
+            threads[idx].actions += 1;
+            let domain = actors[idx].domain();
+            let started = self.now;
+            let mut completion = Completion {
+                finished_at: started,
+                latency: 0,
+                measured: None,
+                outcomes: Vec::new(),
+            };
+
+            match action {
+                Action::Done => {
+                    threads[idx].done = true;
+                    continue;
+                }
+                Action::Load(addr) => {
+                    let outcome = self
+                        .hierarchy
+                        .read(addr, AccessContext::for_domain(domain));
+                    self.perf.record(domain, &outcome);
+                    completion.latency = outcome.cycles;
+                    completion.outcomes.push(outcome);
+                }
+                Action::Store(addr) => {
+                    let outcome = self
+                        .hierarchy
+                        .write(addr, AccessContext::for_domain(domain));
+                    self.perf.record(domain, &outcome);
+                    completion.latency = outcome.cycles;
+                    completion.outcomes.push(outcome);
+                }
+                Action::Flush(addr) => {
+                    let outcome = self
+                        .hierarchy
+                        .flush(addr, AccessContext::for_domain(domain));
+                    self.perf.record(domain, &outcome);
+                    completion.latency = outcome.cycles;
+                    completion.outcomes.push(outcome);
+                }
+                Action::MeasuredChase(addrs) => {
+                    let mut total = 0;
+                    for addr in addrs {
+                        let outcome = self
+                            .hierarchy
+                            .read(addr, AccessContext::for_domain(domain));
+                        self.perf.record(domain, &outcome);
+                        total += outcome.cycles;
+                        completion.outcomes.push(outcome);
+                    }
+                    completion.latency = total;
+                    completion.measured = Some(self.tsc.measure(total, &mut self.rng));
+                }
+                Action::MeasuredLoad(addr) => {
+                    let outcome = self
+                        .hierarchy
+                        .read(addr, AccessContext::for_domain(domain));
+                    self.perf.record(domain, &outcome);
+                    completion.latency = outcome.cycles;
+                    completion.measured = Some(self.tsc.measure(outcome.cycles, &mut self.rng));
+                    completion.outcomes.push(outcome);
+                }
+                Action::WaitUntil(target) => {
+                    completion.latency = target.saturating_sub(started);
+                }
+                Action::Compute(cycles) => {
+                    completion.latency = cycles;
+                }
+            }
+
+            // Every action costs at least one cycle of issue bandwidth; this
+            // also guarantees forward progress for zero-length waits.
+            let advance = completion.latency.max(1);
+            completion.finished_at = started + advance;
+            threads[idx].ready_at = started + advance;
+            actors[idx].on_completion(&completion);
+        }
+
+        // The machine clock ends at the latest point any actor reached (or
+        // the deadline when the limit was hit).
+        let end = threads
+            .iter()
+            .map(|t| t.ready_at)
+            .max()
+            .unwrap_or(self.now)
+            .min(deadline);
+        self.now = self.now.max(end);
+
+        RunSummary {
+            finished_at: self.now,
+            actions: threads.iter().map(|t| t.actions).collect(),
+            stalled_cycles: threads.iter().map(|t| t.stalled).collect(),
+            hit_limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlayout::SetLines;
+    use crate::process::{AddressSpace, ProcessId};
+    use crate::program::ScriptedActor;
+    use sim_cache::outcome::HitLevel;
+
+    fn ideal_machine() -> Machine {
+        Machine::new(MachineConfig::ideal(PolicyKind::TrueLru, 7)).unwrap()
+    }
+
+    #[test]
+    fn direct_reads_advance_the_clock_by_the_latency() {
+        let mut m = ideal_machine();
+        let addr = PhysAddr(0x4000);
+        let t0 = m.now();
+        let miss = m.read(1, addr);
+        assert_eq!(m.now() - t0, miss.cycles);
+        let t1 = m.now();
+        let hit = m.read(1, addr);
+        assert_eq!(hit.hit, HitLevel::L1D);
+        assert_eq!(m.now() - t1, hit.cycles);
+        assert_eq!(m.perf(1).l1_loads, 2);
+        assert_eq!(m.perf(1).l1_load_misses, 1);
+    }
+
+    #[test]
+    fn measured_chase_reflects_dirty_lines_in_the_target_set() {
+        let mut m = ideal_machine();
+        let g = m.l1_geometry();
+        let receiver = AddressSpace::new(ProcessId(1));
+        let sender = AddressSpace::new(ProcessId(2));
+        let set = 17;
+        let replacement_a = SetLines::build(receiver, g, set, 10, 1000);
+        let replacement_b = SetLines::build(receiver, g, set, 10, 2000);
+        let target = SetLines::build(sender, g, set, 8, 0);
+
+        // Warm every line so later accesses are L2 hits, then initialise the
+        // target set with the receiver's clean lines.
+        for &a in replacement_a.lines().iter().chain(replacement_b.lines()) {
+            m.read(1, a);
+        }
+        for &a in target.lines() {
+            m.read(2, a);
+        }
+        let (clean, _) = m.measured_chase(1, replacement_a.lines());
+
+        // Sender dirties 4 of its lines that are still resident.
+        for &a in target.lines().iter().take(4) {
+            m.read(2, a); // ensure residency
+        }
+        // Refill the set with sender lines, then dirty 4 of them.
+        for &a in target.lines() {
+            m.read(2, a);
+        }
+        for &a in target.lines().iter().take(4) {
+            m.write(2, a);
+        }
+        let (dirty, _) = m.measured_chase(1, replacement_b.lines());
+        let penalty = m.hierarchy().latency_model().per_dirty_line_penalty();
+        assert!(
+            dirty >= clean + 3 * penalty,
+            "4 dirty lines must slow the sweep: clean={clean} dirty={dirty}"
+        );
+    }
+
+    #[test]
+    fn run_interleaves_two_actors_in_time() {
+        let mut m = ideal_machine();
+        let a_addr = PhysAddr(0x10_0000);
+        let b_addr = PhysAddr(0x20_0000);
+        let mut a = ScriptedActor::new(
+            "a",
+            1,
+            vec![Action::Load(a_addr), Action::Compute(50), Action::Load(a_addr)],
+        );
+        let mut b = ScriptedActor::new(
+            "b",
+            2,
+            vec![Action::Compute(10), Action::Load(b_addr)],
+        );
+        let summary = {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut a, &mut b];
+            m.run(&mut actors, 1_000_000)
+        };
+        assert!(!summary.hit_limit);
+        assert_eq!(summary.actions, vec![4, 3], "each actor runs its script plus Done");
+        assert_eq!(a.completions().len(), 3);
+        assert_eq!(b.completions().len(), 2);
+        // The second load of `a` is an L1 hit because the first one filled it.
+        assert_eq!(a.completions()[2].outcomes[0].hit, HitLevel::L1D);
+        // Completion times are monotone per actor.
+        assert!(a.completions()[0].finished_at < a.completions()[1].finished_at);
+    }
+
+    #[test]
+    fn run_honours_the_cycle_limit() {
+        let mut m = ideal_machine();
+        // An actor that computes forever.
+        struct Spinner;
+        impl Actor for Spinner {
+            fn name(&self) -> &str {
+                "spinner"
+            }
+            fn domain(&self) -> DomainId {
+                9
+            }
+            fn next_action(&mut self, _now: u64) -> Action {
+                Action::Compute(100)
+            }
+            fn on_completion(&mut self, _completion: &Completion) {}
+        }
+        let mut spinner = Spinner;
+        let summary = {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut spinner];
+            m.run(&mut actors, 10_000)
+        };
+        assert!(summary.hit_limit);
+        assert!(summary.finished_at <= 10_000);
+        assert!(summary.actions[0] >= 90);
+    }
+
+    #[test]
+    fn wait_until_lands_on_the_requested_cycle() {
+        let mut m = ideal_machine();
+        let mut actor = ScriptedActor::new("w", 1, vec![Action::WaitUntil(5_000), Action::Compute(1)]);
+        {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut actor];
+            m.run(&mut actors, 100_000);
+        }
+        assert_eq!(actor.completions()[0].finished_at, 5_000);
+        assert_eq!(actor.completions()[1].finished_at, 5_001);
+    }
+
+    #[test]
+    fn interruptions_stall_actors_when_enabled() {
+        let mut config = MachineConfig::ideal(PolicyKind::TreePlru, 3);
+        config.interrupts = InterruptConfig {
+            period: 1_000,
+            period_jitter: 0,
+            duration: 500,
+            duration_jitter: 0,
+        };
+        let mut m = Machine::new(config).unwrap();
+        let script = vec![Action::Compute(100); 100];
+        let mut actor = ScriptedActor::new("busy", 1, script);
+        let summary = {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut actor];
+            m.run(&mut actors, 1_000_000)
+        };
+        assert!(summary.stalled_cycles[0] > 0, "the actor must have been preempted");
+    }
+
+    #[test]
+    fn reset_counters_clears_perf_and_stats() {
+        let mut m = ideal_machine();
+        m.read(1, PhysAddr(0));
+        assert_eq!(m.perf(1).l1_loads, 1);
+        m.reset_counters();
+        assert_eq!(m.perf(1).l1_loads, 0);
+        assert_eq!(m.hierarchy().stats().l1d.accesses(), 0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Pointer-chasing measurement structure.
+//!
+//! The receiver measures the latency of replacing the target set by walking a
+//! linked list whose elements are the replacement-set lines in a random
+//! order, with `rdtscp` before and after (the paper's Figure 3).  The random
+//! permutation prevents the hardware prefetcher from hiding misses, and the
+//! data dependence between consecutive loads serialises them so the measured
+//! interval is the sum of the individual load latencies.
+//!
+//! In the simulator the "linked list" is simply the ordered address sequence
+//! of a [`PointerChase`]; the machine executes it as an
+//! [`crate::program::Action::MeasuredChase`].
+
+use crate::memlayout::SetLines;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sim_cache::addr::PhysAddr;
+
+/// A randomly permuted, serialised walk over a replacement set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointerChase {
+    order: Vec<PhysAddr>,
+}
+
+impl PointerChase {
+    /// Builds a chase over the lines of `set_lines` in a fresh random order.
+    pub fn new<R: Rng + ?Sized>(set_lines: &SetLines, rng: &mut R) -> PointerChase {
+        PointerChase {
+            order: set_lines.shuffled(rng),
+        }
+    }
+
+    /// Builds a chase with an explicit (already permuted) order.
+    pub fn from_order(order: Vec<PhysAddr>) -> PointerChase {
+        PointerChase { order }
+    }
+
+    /// The addresses in walk order.
+    pub fn addresses(&self) -> &[PhysAddr] {
+        &self.order
+    }
+
+    /// Number of loads in the walk.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the walk is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The walk as an owned address vector (for building a
+    /// [`crate::program::Action::MeasuredChase`]).
+    pub fn to_actions(&self) -> Vec<PhysAddr> {
+        self.order.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memlayout::SetLines;
+    use crate::process::{AddressSpace, ProcessId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sim_cache::addr::CacheGeometry;
+
+    fn lines() -> SetLines {
+        SetLines::build(
+            AddressSpace::new(ProcessId(1)),
+            CacheGeometry::xeon_l1d(),
+            7,
+            10,
+            0,
+        )
+    }
+
+    #[test]
+    fn chase_visits_every_line_exactly_once() {
+        let set_lines = lines();
+        let mut rng = StdRng::seed_from_u64(11);
+        let chase = PointerChase::new(&set_lines, &mut rng);
+        assert_eq!(chase.len(), 10);
+        assert!(!chase.is_empty());
+        let mut sorted = chase.addresses().to_vec();
+        sorted.sort();
+        let mut expected = set_lines.lines().to_vec();
+        expected.sort();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let set_lines = lines();
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let a = PointerChase::new(&set_lines, &mut rng_a);
+        let b = PointerChase::new(&set_lines, &mut rng_b);
+        assert_ne!(a.addresses(), b.addresses());
+    }
+
+    #[test]
+    fn from_order_and_to_actions_round_trip() {
+        let order = vec![PhysAddr(0x40), PhysAddr(0x80), PhysAddr(0x0)];
+        let chase = PointerChase::from_order(order.clone());
+        assert_eq!(chase.addresses(), order.as_slice());
+        assert_eq!(chase.to_actions(), order);
+    }
+}

@@ -1,0 +1,68 @@
+//! Integration tests spanning the defenses, baselines and WB-channel crates.
+
+use dirty_cache_repro::baselines::common::{BaselineChannel, NoiseSpec};
+use dirty_cache_repro::baselines::{classification_table, LruChannel, PrimeProbe, ReuseChannel};
+use dirty_cache_repro::defenses::{evaluate_defense, Defense, EvaluationConfig};
+
+#[test]
+fn defenses_match_the_papers_verdicts_end_to_end() {
+    let config = EvaluationConfig {
+        samples: 60,
+        ..EvaluationConfig::default()
+    };
+    // The channel works undefended, survives random replacement and
+    // Prefetch-guard, and dies under write-through and partitioning.
+    let cases = [
+        (Defense::None, false),
+        (Defense::RandomReplacement, false),
+        (Defense::PrefetchGuard { degree: 2 }, false),
+        (Defense::WriteThroughL1, true),
+        (Defense::NoMoPartitioning, true),
+        (Defense::PlCacheLocking, true),
+    ];
+    for (defense, expect_mitigated) in cases {
+        let result = evaluate_defense(defense, &config).unwrap();
+        assert_eq!(
+            result.mitigated, expect_mitigated,
+            "{}: accuracy {}",
+            result.label, result.accuracy
+        );
+    }
+}
+
+#[test]
+fn every_baseline_channel_transmits_and_respects_its_requirements() {
+    let bits: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+    let mut channels: Vec<Box<dyn BaselineChannel>> = vec![
+        Box::new(ReuseChannel::flush_reload(1)),
+        Box::new(ReuseChannel::flush_flush(2)),
+        Box::new(ReuseChannel::evict_reload(3)),
+        Box::new(PrimeProbe::new(4)),
+        Box::new(LruChannel::new(5)),
+    ];
+    for channel in channels.iter_mut() {
+        let report = channel.transmit(&bits).unwrap();
+        assert!(
+            report.bit_error_rate < 0.15,
+            "{} BER {}",
+            channel.name(),
+            report.bit_error_rate
+        );
+    }
+    let table = classification_table();
+    // The WB channel is the only Miss+Miss entry and needs no shared memory.
+    let wb = table.iter().find(|r| r.class == "Miss+Miss").unwrap();
+    assert!(wb.channel.contains("WB"));
+    assert!(!wb.needs_shared_memory && !wb.needs_clflush);
+}
+
+#[test]
+fn noise_hurts_the_lru_channel_far_more_than_prime_probe_is_hurt_by_policy() {
+    let bits: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+    let clean = LruChannel::new(9).transmit(&bits).unwrap();
+    let noisy = LruChannel::new(9)
+        .transmit_with_noise(&bits, NoiseSpec::every_period())
+        .unwrap();
+    assert!(noisy.bit_error_rate > clean.bit_error_rate);
+    assert!(noisy.bit_error_rate > 0.15);
+}
