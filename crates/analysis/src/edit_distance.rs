@@ -6,8 +6,6 @@
 //! losses (deletions) — that arise when the sender and receiver periods drift
 //! apart.
 
-use serde::{Deserialize, Serialize};
-
 /// Computes the Wagner–Fischer (Levenshtein) edit distance between two
 /// sequences, counting substitutions, insertions and deletions each as one
 /// edit.
@@ -47,7 +45,8 @@ pub fn bit_error_rate(sent: &[bool], received: &[bool]) -> f64 {
 }
 
 /// A per-error-type breakdown obtained from the optimal alignment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ErrorBreakdown {
     /// Substitutions (bit flips).
     pub flips: usize,
@@ -77,8 +76,8 @@ pub fn error_breakdown(sent: &[bool], received: &[bool]) -> ErrorBreakdown {
     for (i, row) in dp.iter_mut().enumerate() {
         row[0] = i;
     }
-    for j in 0..=m {
-        dp[0][j] = j;
+    for (j, cell) in dp[0].iter_mut().enumerate() {
+        *cell = j;
     }
     for i in 1..=n {
         for j in 1..=m {

@@ -1,10 +1,10 @@
 //! Summary statistics for latency samples.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary statistics of a sample of `f64` observations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -63,7 +63,14 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} mean={:.1} sd={:.1} min={:.0} p05={:.0} median={:.0} p95={:.0} max={:.0}",
-            self.count, self.mean, self.std_dev, self.min, self.p05, self.median, self.p95, self.max
+            self.count,
+            self.mean,
+            self.std_dev,
+            self.min,
+            self.p05,
+            self.median,
+            self.p95,
+            self.max
         )
     }
 }
@@ -77,7 +84,10 @@ impl fmt::Display for Summary {
 /// Panics if `sorted` is empty or `pct` is outside `[0, 100]`.
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile {pct} out of range"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -4,14 +4,14 @@
 //! rendered as Markdown (for `EXPERIMENTS.md`), CSV (for plotting) or JSON
 //! (for machine comparison against the paper's numbers).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// A simple rectangular results table.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Table {
     /// Table title (e.g. `"Table II: probability of line 0 being evicted"`).
     pub title: String,
@@ -109,11 +109,36 @@ impl Table {
 
     /// Serialises the table as pretty JSON.
     ///
-    /// # Panics
-    ///
-    /// Never panics: `Table` is always serialisable.
+    /// Hand-rolled (no `serde_json` in the offline build): a `Table` is just
+    /// strings, string arrays and arrays of string arrays, so the encoder
+    /// fits in a screen of code and [`Table::from_json`] round-trips it.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("Table serialisation cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"headers\": [\n");
+        for (i, h) in self.headers.iter().enumerate() {
+            let comma = if i + 1 < self.headers.len() { "," } else { "" };
+            out.push_str(&format!("    {}{}\n", json_string(h), comma));
+        }
+        out.push_str("  ],\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!("    [{}]{}\n", cells.join(", "), comma));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Parses a table from the JSON produced by [`Table::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem encountered. The
+    /// parser accepts any whitespace layout but requires exactly the
+    /// `title` / `headers` / `rows` object shape `to_json` emits.
+    pub fn from_json(json: &str) -> Result<Table, String> {
+        JsonParser::new(json).parse_table()
     }
 
     /// Writes the Markdown, CSV and JSON renderings next to each other:
@@ -134,6 +159,184 @@ impl Table {
     }
 }
 
+/// Encodes a string as a JSON string literal (quotes, escapes, control
+/// characters).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Recursive-descent parser for the exact object shape [`Table::to_json`]
+/// emits.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(json: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_table(mut self) -> Result<Table, String> {
+        self.expect(b'{')?;
+        self.expect_key("title")?;
+        let title = self.parse_string()?;
+        self.expect(b',')?;
+        self.expect_key("headers")?;
+        let headers = self.parse_string_array()?;
+        self.expect(b',')?;
+        self.expect_key("rows")?;
+        let mut rows = Vec::new();
+        self.expect(b'[')?;
+        if !self.try_consume(b']') {
+            loop {
+                rows.push(self.parse_string_array()?);
+                if !self.try_consume(b',') {
+                    self.expect(b']')?;
+                    break;
+                }
+            }
+        }
+        self.expect(b'}')?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing data at byte {}", self.pos));
+        }
+        Ok(Table {
+            title,
+            headers,
+            rows,
+        })
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn try_consume(&mut self, byte: u8) -> bool {
+        self.skip_whitespace();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        let found = self.parse_string()?;
+        if found != key {
+            return Err(format!("expected key \"{key}\", found \"{found}\""));
+        }
+        self.expect(b':')
+    }
+
+    fn parse_string_array(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.try_consume(b']') {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.parse_string()?);
+            if !self.try_consume(b',') {
+                self.expect(b']')?;
+                return Ok(items);
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err("unterminated string".to_owned());
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    let escape = rest.get(1).copied().ok_or("unterminated escape")?;
+                    self.pos += 2;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape \"{hex}\""))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("invalid codepoint \\u{hex}"))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", char::from(other)));
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Fixed-width plain-text rendering for terminal output.
@@ -151,12 +354,22 @@ impl fmt::Display for Table {
         let render_row = |row: &[String]| -> String {
             row.iter()
                 .enumerate()
-                .map(|(i, cell)| format!("{:width$}", cell, width = widths.get(i).copied().unwrap_or(0)))
+                .map(|(i, cell)| {
+                    format!(
+                        "{:width$}",
+                        cell,
+                        width = widths.get(i).copied().unwrap_or(0)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;
         }
@@ -214,8 +427,27 @@ mod tests {
     fn json_round_trips() {
         let t = sample_table();
         let json = t.to_json();
-        let back: Table = serde_json::from_str(&json).unwrap();
+        let back = Table::from_json(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn json_round_trips_escapes_and_empty_rows() {
+        let mut t = Table::new("quote \" backslash \\ newline \n tab \t", &["a,b", ""]);
+        t.push_row(["control \u{1} char", "ünïcödé ✓"]);
+        let back = Table::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        let empty = Table::new("", &[]);
+        assert_eq!(Table::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(Table::from_json("").is_err());
+        assert!(Table::from_json("{\"title\": \"x\"}").is_err());
+        assert!(Table::from_json("{\"title\": \"unterminated").is_err());
+        let valid = sample_table().to_json();
+        assert!(Table::from_json(&format!("{valid} trailing")).is_err());
     }
 
     #[test]
@@ -240,7 +472,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(percent(0.688), "68.8%");
         assert_eq!(percent2(0.0359), "3.59%");
-        assert_eq!(fixed(3.14159, 2), "3.14");
+        assert_eq!(fixed(1.23456, 2), "1.23");
         assert!(sample_table().len() == 2 && !sample_table().is_empty());
     }
 }

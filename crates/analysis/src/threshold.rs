@@ -12,11 +12,10 @@
 //! live transmission) and places decision boundaries halfway between the
 //! class means.
 
-use serde::{Deserialize, Serialize};
-
 /// A binary latency threshold: values strictly above the threshold are
 /// classified as "1" (dirty line present).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BinaryThreshold {
     threshold: f64,
     /// Mean latency observed for symbol 0 during calibration.
@@ -80,7 +79,8 @@ impl BinaryThreshold {
 ///
 /// Level `i` corresponds to the `i`-th calibration class (in the order the
 /// classes were supplied, conventionally increasing dirty-line count).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MultiLevelThreshold {
     /// Mean latency of each class, ascending.
     means: Vec<f64>,

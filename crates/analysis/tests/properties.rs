@@ -1,7 +1,9 @@
 //! Property-based tests for the analysis primitives (edit distance metric
 //! axioms, CDF monotonicity, threshold correctness).
 
-use analysis::edit_distance::{bit_error_rate, bits_to_bytes, bytes_to_bits, edit_distance, error_breakdown};
+use analysis::edit_distance::{
+    bit_error_rate, bits_to_bytes, bytes_to_bits, edit_distance, error_breakdown,
+};
 use analysis::histogram::Cdf;
 use analysis::stats::Summary;
 use analysis::threshold::BinaryThreshold;

@@ -10,11 +10,11 @@
 
 use analysis::edit_distance::bit_error_rate;
 use analysis::threshold::BinaryThreshold;
-use serde::{Deserialize, Serialize};
 use wb_channel::Error;
 
 /// How a noisy cache line interferes with a transmission (Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseSpec {
     /// Probability that a noisy line is loaded into the target set between
     /// the sender's encoding step and the receiver's decoding step.
@@ -35,7 +35,8 @@ impl NoiseSpec {
 }
 
 /// Outcome of one baseline transmission.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BaselineReport {
     /// Channel name ("Flush+Reload", "Prime+Probe", ...).
     pub channel: String,
@@ -119,7 +120,10 @@ pub fn classify_bit(threshold: &BinaryThreshold, value: u64) -> bool {
 ///
 /// `observe` is called `rounds` times with the training bit and must return
 /// the receiver's observable for that bit.
-pub fn calibrate_threshold<F: FnMut(bool) -> u64>(rounds: usize, mut observe: F) -> BinaryThreshold {
+pub fn calibrate_threshold<F: FnMut(bool) -> u64>(
+    rounds: usize,
+    mut observe: F,
+) -> BinaryThreshold {
     let mut zeros = Vec::new();
     let mut ones = Vec::new();
     for i in 0..rounds.max(8) {

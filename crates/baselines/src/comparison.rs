@@ -6,14 +6,14 @@ use crate::lru_channel::LruChannel;
 use crate::prime_probe::PrimeProbe;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use wb_channel::channel::{ChannelConfig, CovertChannel, NoiseConfig};
 use wb_channel::encoding::SymbolEncoding;
 use wb_channel::Error;
 
 /// One row of the paper's Table I, extended with the requirements the paper
 /// discusses in Section VI.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ClassificationRow {
     /// Channel name.
     pub channel: String,
@@ -43,13 +43,26 @@ pub fn classification_table() -> Vec<ClassificationRow> {
         row("Evict+Reload", "Hit+Miss", "reuse", true, false),
         row("Prime+Probe", "Hit+Miss", "contention", false, false),
         row("LRU channel", "Hit+Miss", "contention", false, false),
-        row("CacheBleed (bank contention)", "Hit+Hit", "contention", false, false),
-        row("WB channel (this paper)", "Miss+Miss", "contention", false, false),
+        row(
+            "CacheBleed (bank contention)",
+            "Hit+Hit",
+            "contention",
+            false,
+            false,
+        ),
+        row(
+            "WB channel (this paper)",
+            "Miss+Miss",
+            "contention",
+            false,
+            false,
+        ),
     ]
 }
 
 /// Result of the Figure 8 noise-robustness comparison for one channel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseRobustness {
     /// Channel name.
     pub channel: String,

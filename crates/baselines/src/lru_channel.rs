@@ -7,7 +7,9 @@
 //! breaks it, while the WB channel shrugs it off; Section VII additionally
 //! compares the two senders' cache-load footprints (Table VI).
 
-use crate::common::{calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec};
+use crate::common::{
+    calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::policy::PolicyKind;
@@ -220,6 +222,9 @@ mod tests {
         let mut channel = LruChannel::new(10);
         let bits = vec![true, false, true, true];
         let report = channel.transmit(&bits).unwrap();
-        assert_eq!(report.sender_accesses, 3 * channel.modulations_per_one as u64);
+        assert_eq!(
+            report.sender_accesses,
+            3 * channel.modulations_per_one as u64
+        );
     }
 }

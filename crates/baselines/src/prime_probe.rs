@@ -7,7 +7,9 @@
 //! the whole set every period, and a single noisy cache line already causes
 //! probe misses (Sec. VI).
 
-use crate::common::{calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec};
+use crate::common::{
+    calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::policy::PolicyKind;

@@ -6,7 +6,9 @@
 //! comparison the paper draws: the WB channel needs neither shared memory nor
 //! `clflush`, while these do.
 
-use crate::common::{calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec};
+use crate::common::{
+    calibrate_threshold, classify_bit, BaselineChannel, BaselineReport, NoiseSpec,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::addr::PhysAddr;

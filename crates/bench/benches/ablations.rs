@@ -39,7 +39,12 @@ fn bench_ablations(c: &mut Criterion) {
     }
 
     // L1 replacement policy.
-    for policy in [PolicyKind::TrueLru, PolicyKind::TreePlru, PolicyKind::IntelLike, PolicyKind::Random] {
+    for policy in [
+        PolicyKind::TrueLru,
+        PolicyKind::TreePlru,
+        PolicyKind::IntelLike,
+        PolicyKind::Random,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("policy", policy.label()),
             &policy,

@@ -22,7 +22,9 @@ fn bench_hierarchy_accesses(c: &mut Criterion) {
         let ctx = AccessContext::default();
         // Alternate between two line families in one set so that every read
         // evicts a dirty line filled by the matching store.
-        let lines: Vec<PhysAddr> = (0..16).map(|t| PhysAddr::from_set_and_tag(3, t, g)).collect();
+        let lines: Vec<PhysAddr> = (0..16)
+            .map(|t| PhysAddr::from_set_and_tag(3, t, g))
+            .collect();
         for &l in &lines {
             h.read(l, ctx);
         }
@@ -39,7 +41,9 @@ fn bench_hierarchy_accesses(c: &mut Criterion) {
         let mut h = CacheHierarchy::xeon_e5_2650(PolicyKind::TreePlru, 1);
         let g = h.l1_geometry();
         let ctx = AccessContext::default();
-        let sweep: Vec<PhysAddr> = (0..10).map(|t| PhysAddr::from_set_and_tag(9, 100 + t, g)).collect();
+        let sweep: Vec<PhysAddr> = (0..10)
+            .map(|t| PhysAddr::from_set_and_tag(9, 100 + t, g))
+            .collect();
         for &l in &sweep {
             h.read(l, ctx);
         }

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bit_pattern(len: usize, seed: u64) -> Vec<bool> {
-    (0..len).map(|i| (i as u64).wrapping_mul(seed) % 7 < 3).collect()
+    (0..len)
+        .map(|i| (i as u64).wrapping_mul(seed) % 7 < 3)
+        .collect()
 }
 
 fn bench_edit_distance(c: &mut Criterion) {

@@ -168,7 +168,12 @@ pub fn experiment_traces(scale: Scale) -> Result<Table, Error> {
     let _ = scale;
     let mut table = Table::new(
         "Figures 5 & 7: example transmissions (128-bit frames, first 16 bits fixed)",
-        &["configuration", "rate (kbps)", "edit distance", "bit error rate"],
+        &[
+            "configuration",
+            "rate (kbps)",
+            "edit distance",
+            "bit error rate",
+        ],
     );
     for d in [1usize, 4, 8] {
         let config = ChannelConfig::builder()
@@ -387,10 +392,18 @@ pub fn experiment_fig8(scale: Scale) -> Result<Table, Error> {
     let rows = noise_robustness_comparison(bits, SEED)?;
     let mut table = Table::new(
         "Figure 8: effect of a noisy cache line on LRU, Prime+Probe and WB channels",
-        &["channel", "BER without noise", "BER with one noisy line/period"],
+        &[
+            "channel",
+            "BER without noise",
+            "BER with one noisy line/period",
+        ],
     );
     for row in rows {
-        table.push_row([row.channel, percent2(row.ber_clean), percent2(row.ber_noisy)]);
+        table.push_row([
+            row.channel,
+            percent2(row.ber_clean),
+            percent2(row.ber_noisy),
+        ]);
     }
     Ok(table)
 }
@@ -463,7 +476,13 @@ pub fn experiment_side_channel(scale: Scale) -> Result<Table, Error> {
 pub fn experiment_bandwidth_summary(scale: Scale) -> Result<Table, Error> {
     let mut table = Table::new(
         "Peak-bandwidth summary (abstract: 1300-4400 kbps with low BER)",
-        &["encoding", "Ts (cycles)", "rate (kbps)", "mean BER", "usable (<5% BER)?"],
+        &[
+            "encoding",
+            "Ts (cycles)",
+            "rate (kbps)",
+            "mean BER",
+            "usable (<5% BER)?",
+        ],
     );
     for (encoding, period) in [
         (SymbolEncoding::binary(1)?, 1_600u64),

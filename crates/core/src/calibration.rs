@@ -16,7 +16,6 @@ use analysis::histogram::Cdf;
 use analysis::stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::{ChannelLayout, SetLines};
@@ -27,7 +26,8 @@ const RECEIVER_DOMAIN: u16 = 1;
 const SENDER_DOMAIN: u16 = 2;
 
 /// Configuration of the calibration runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CalibrationConfig {
     /// The machine to calibrate on.
     pub machine: MachineConfig,
@@ -242,7 +242,8 @@ pub fn calibrate_decoder(
 
 /// The three access-latency classes of the paper's Table IV, measured as true
 /// core latencies (no `rdtscp` overhead).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessLatencyClasses {
     /// Latency of an L1D hit.
     pub l1_hit: Summary,

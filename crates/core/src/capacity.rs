@@ -6,8 +6,6 @@
 //! binary symbols give 1375 kbps, and `Ts = 1000` with two-bit symbols gives
 //! 4400 kbps — the numbers quoted in Section V.
 
-use serde::{Deserialize, Serialize};
-
 /// The sending/sampling periods evaluated by the paper (Sec. V), in cycles.
 pub const PAPER_PERIODS: [u64; 6] = [800, 1_000, 1_600, 2_200, 5_500, 11_000];
 
@@ -34,7 +32,8 @@ pub fn period_for_kbps(bits_per_symbol: usize, kbps: f64, clock_ghz: f64) -> Opt
 }
 
 /// One point of a rate/error sweep (the paper's Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RatePoint {
     /// Sender period `Ts` (= receiver period `Tr`) in cycles.
     pub period_cycles: u64,

@@ -17,7 +17,6 @@ use crate::sender::WbSender;
 use analysis::edit_distance::ErrorBreakdown;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::{ChannelLayout, SetLines};
@@ -34,7 +33,8 @@ const NOISE_DOMAIN: u16 = 3;
 
 /// Configuration of a noisy-neighbour process running alongside the channel
 /// (Sec. VI / Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseConfig {
     /// Cycles between noise accesses to the target set.
     pub interval: u64,
@@ -57,7 +57,8 @@ impl NoiseConfig {
 }
 
 /// Channel configuration (builder-constructed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ChannelConfig {
     /// Symbol encoding.
     pub encoding: SymbolEncoding,
@@ -97,7 +98,9 @@ impl ChannelConfig {
 
 impl Default for ChannelConfig {
     fn default() -> Self {
-        ChannelConfig::builder().build().expect("defaults are valid")
+        ChannelConfig::builder()
+            .build()
+            .expect("defaults are valid")
     }
 }
 
@@ -242,7 +245,8 @@ impl Default for ChannelConfigBuilder {
 }
 
 /// Report of one frame transmission.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransmissionReport {
     /// The bits that were transmitted (preamble included).
     pub sent_bits: Vec<bool>,
@@ -270,7 +274,8 @@ impl TransmissionReport {
 }
 
 /// Aggregate report of a multi-frame evaluation (one point of Figure 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvaluationReport {
     /// Number of frames transmitted.
     pub frames: usize,
@@ -456,7 +461,11 @@ impl CovertChannel {
             total_ber += report.bit_error_rate();
             max_ber = max_ber.max(report.bit_error_rate());
         }
-        let mean = if frames == 0 { 0.0 } else { total_ber / frames as f64 };
+        let mean = if frames == 0 {
+            0.0
+        } else {
+            total_ber / frames as f64
+        };
         let rate = rate_kbps(
             self.config.encoding.bits_per_symbol(),
             self.config.period_cycles,
@@ -497,7 +506,10 @@ mod tests {
     fn builder_validates_inputs() {
         assert!(ChannelConfig::builder().period_cycles(0).build().is_err());
         assert!(ChannelConfig::builder().target_set(64).build().is_err());
-        assert!(ChannelConfig::builder().replacement_size(4).build().is_err());
+        assert!(ChannelConfig::builder()
+            .replacement_size(4)
+            .build()
+            .is_err());
         let config = ChannelConfig::default();
         assert_eq!(config.period_cycles, 5_500);
         assert_eq!(config.replacement_size, 10);

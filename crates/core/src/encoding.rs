@@ -12,11 +12,11 @@
 //!   `d ∈ {0, 3, 5, 8}` to keep levels distinguishable under noise.
 
 use crate::error::Error;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A symbol encoding for the WB channel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SymbolEncoding {
     /// One bit per symbol: `0 ↦ 0` dirty lines, `1 ↦ dirty_lines`.
     Binary {
@@ -197,9 +197,18 @@ mod tests {
         assert!(SymbolEncoding::multi_bit(vec![0, 4]).is_ok());
         assert!(SymbolEncoding::multi_bit(vec![0, 1, 2, 3, 4, 5, 6, 7]).is_ok());
         assert!(SymbolEncoding::multi_bit(vec![0]).is_err(), "single level");
-        assert!(SymbolEncoding::multi_bit(vec![0, 3, 5]).is_err(), "3 levels is not a power of two");
-        assert!(SymbolEncoding::multi_bit(vec![3, 3, 5, 8]).is_err(), "not strictly increasing");
-        assert!(SymbolEncoding::multi_bit(vec![0, 3, 5, 9]).is_err(), "exceeds associativity");
+        assert!(
+            SymbolEncoding::multi_bit(vec![0, 3, 5]).is_err(),
+            "3 levels is not a power of two"
+        );
+        assert!(
+            SymbolEncoding::multi_bit(vec![3, 3, 5, 8]).is_err(),
+            "not strictly increasing"
+        );
+        assert!(
+            SymbolEncoding::multi_bit(vec![0, 3, 5, 9]).is_err(),
+            "exceeds associativity"
+        );
     }
 
     #[test]
@@ -236,7 +245,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(SymbolEncoding::binary(4).unwrap().to_string(), "binary(d=4)");
-        assert!(SymbolEncoding::paper_two_bit().to_string().contains("[0, 3, 5, 8]"));
+        assert_eq!(
+            SymbolEncoding::binary(4).unwrap().to_string(),
+            "binary(d=4)"
+        );
+        assert!(SymbolEncoding::paper_two_bit()
+            .to_string()
+            .contains("[0, 3, 5, 8]"));
     }
 }

@@ -13,14 +13,14 @@
 //!   lines, compared against the closed form `p = 1 − ((W − d)/W)^L`.
 
 use crate::error::Error;
-use serde::{Deserialize, Serialize};
 use sim_cache::addr::PhysAddr;
 use sim_cache::cache::{AccessContext, Cache};
 use sim_cache::config::CacheConfig;
 use sim_cache::policy::PolicyKind;
 
 /// One row/cell of the Table II experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvictionProbability {
     /// Replacement policy evaluated.
     pub policy: PolicyKind,
@@ -103,7 +103,8 @@ pub fn table_ii(
 }
 
 /// One cell of the Table V experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DirtyEvictionProbability {
     /// Number of dirty lines in the target set.
     pub dirty_lines: usize,
@@ -233,14 +234,20 @@ mod tests {
         let p8 = line0_eviction_probability(PolicyKind::TrueLru, 8, 200, 1).unwrap();
         let p7 = line0_eviction_probability(PolicyKind::TrueLru, 7, 200, 1).unwrap();
         assert_eq!(p8.probability, 1.0, "LRU: 8 fills always evict (Table II)");
-        assert_eq!(p7.probability, 0.0, "LRU: 7 fills never evict the MRU-protected line");
+        assert_eq!(
+            p7.probability, 0.0,
+            "LRU: 7 fills never evict the MRU-protected line"
+        );
     }
 
     #[test]
     fn tree_plru_reaches_certainty_at_nine_lines() {
         let p8 = line0_eviction_probability(PolicyKind::TreePlru, 8, 400, 3).unwrap();
         let p9 = line0_eviction_probability(PolicyKind::TreePlru, 9, 400, 3).unwrap();
-        assert!(p8.probability > 0.7, "PLRU at N=8 is usually but not always enough");
+        assert!(
+            p8.probability > 0.7,
+            "PLRU at N=8 is usually but not always enough"
+        );
         assert_eq!(p9.probability, 1.0, "PLRU: 9 fills always evict (Table II)");
     }
 
@@ -249,9 +256,15 @@ mod tests {
         let p8 = line0_eviction_probability(PolicyKind::IntelLike, 8, 400, 5).unwrap();
         let p9 = line0_eviction_probability(PolicyKind::IntelLike, 9, 400, 5).unwrap();
         let p10 = line0_eviction_probability(PolicyKind::IntelLike, 10, 400, 5).unwrap();
-        assert!(p8.probability < 0.95, "Intel-like at N=8 is unreliable (68.8% in the paper)");
+        assert!(
+            p8.probability < 0.95,
+            "Intel-like at N=8 is unreliable (68.8% in the paper)"
+        );
         assert!(p9.probability > p8.probability);
-        assert_eq!(p10.probability, 1.0, "Intel-like: 10 fills always evict (Table II)");
+        assert_eq!(
+            p10.probability, 1.0,
+            "Intel-like: 10 fills always evict (Table II)"
+        );
     }
 
     #[test]

@@ -13,7 +13,6 @@ use crate::error::Error;
 use analysis::edit_distance::{edit_distance, error_breakdown, ErrorBreakdown};
 use analysis::threshold::{BinaryThreshold, MultiLevelThreshold};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Number of fixed alignment bits at the start of every frame.
 pub const PREAMBLE_BITS: usize = 16;
@@ -21,16 +20,15 @@ pub const PREAMBLE_BITS: usize = 16;
 /// The fixed 16-bit preamble (the bit pattern visible in the magnified part
 /// of the paper's Figure 5: `0000 1010 1111 0101`).
 pub fn preamble() -> Vec<bool> {
-    [
-        0u8, 0, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 0, 1, 0, 1,
-    ]
-    .iter()
-    .map(|&b| b == 1)
-    .collect()
+    [0u8, 0, 0, 0, 1, 0, 1, 0, 1, 1, 1, 1, 0, 1, 0, 1]
+        .iter()
+        .map(|&b| b == 1)
+        .collect()
 }
 
 /// A transmission frame: the fixed preamble followed by payload bits.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Frame {
     bits: Vec<bool>,
 }
@@ -127,8 +125,7 @@ impl Decoder {
             SymbolEncoding::MultiBit { .. } => {
                 let quantiser = MultiLevelThreshold::calibrate(classes).ok_or_else(|| {
                     Error::CalibrationFailed {
-                        reason: "multi-level calibration classes are empty or not separable"
-                            .into(),
+                        reason: "multi-level calibration classes are empty or not separable".into(),
                     }
                 })?;
                 DecoderKind::MultiLevel(quantiser)
@@ -180,7 +177,8 @@ impl Decoder {
 
 /// Result of aligning a decoded bit stream against the transmitted frame and
 /// scoring it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AlignmentResult {
     /// Offset (in bits) into the decoded stream where the frame was found.
     pub offset: usize,
@@ -333,8 +331,7 @@ mod tests {
 
     #[test]
     fn explicit_threshold_decoder() {
-        let decoder =
-            Decoder::binary_with_threshold(SymbolEncoding::binary(4).unwrap(), 150.0);
+        let decoder = Decoder::binary_with_threshold(SymbolEncoding::binary(4).unwrap(), 150.0);
         assert_eq!(decoder.classify(149), 0);
         assert_eq!(decoder.classify(151), 1);
     }

@@ -9,13 +9,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use sim_cache::line::DomainId;
 use sim_core::memlayout::ChannelLayout;
 use sim_core::program::{Action, Actor, Completion};
 
 /// One latency observation made by the receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sample {
     /// Cycle at which the measurement completed.
     pub at: u64,
@@ -134,55 +134,53 @@ impl Actor for WbReceiver {
     }
 
     fn next_action(&mut self, now: u64) -> Action {
-        loop {
-            if self.is_complete() {
-                return Action::Done;
+        if self.is_complete() {
+            return Action::Done;
+        }
+        match self.state {
+            ReceiverState::Init => {
+                // Warm both replacement sets into the outer cache levels
+                // first (so the very first decodes are L2-served, not
+                // memory-served), then fill the target set with the
+                // receiver's own clean lines — the paper's
+                // initialisation phase.
+                let warm_a = self.layout.replacement_a.len();
+                let warm_b = self.layout.replacement_b.len();
+                let total_init = warm_a + warm_b + self.layout.target_lines.len();
+                if self.init_idx < total_init {
+                    let i = self.init_idx;
+                    self.init_idx += 1;
+                    let line = if i < warm_a {
+                        self.layout.replacement_a.line(i)
+                    } else if i < warm_a + warm_b {
+                        self.layout.replacement_b.line(i - warm_a)
+                    } else {
+                        self.layout.target_lines.line(i - warm_a - warm_b)
+                    };
+                    return Action::Load(line);
+                }
+                // Initialisation complete: schedule the first sample at
+                // `phase` cycles into the first period (which begins at
+                // the agreed rendezvous time, if one was set).
+                self.state = ReceiverState::Wait;
+                let anchor = now.max(self.start_at);
+                self.t_last = anchor;
+                Action::WaitUntil(anchor + self.phase)
             }
-            match self.state {
-                ReceiverState::Init => {
-                    // Warm both replacement sets into the outer cache levels
-                    // first (so the very first decodes are L2-served, not
-                    // memory-served), then fill the target set with the
-                    // receiver's own clean lines — the paper's
-                    // initialisation phase.
-                    let warm_a = self.layout.replacement_a.len();
-                    let warm_b = self.layout.replacement_b.len();
-                    let total_init = warm_a + warm_b + self.layout.target_lines.len();
-                    if self.init_idx < total_init {
-                        let i = self.init_idx;
-                        self.init_idx += 1;
-                        let line = if i < warm_a {
-                            self.layout.replacement_a.line(i)
-                        } else if i < warm_a + warm_b {
-                            self.layout.replacement_b.line(i - warm_a)
-                        } else {
-                            self.layout.target_lines.line(i - warm_a - warm_b)
-                        };
-                        return Action::Load(line);
-                    }
-                    // Initialisation complete: schedule the first sample at
-                    // `phase` cycles into the first period (which begins at
-                    // the agreed rendezvous time, if one was set).
-                    self.state = ReceiverState::Wait;
-                    let anchor = now.max(self.start_at);
-                    self.t_last = anchor;
-                    return Action::WaitUntil(anchor + self.phase);
-                }
-                ReceiverState::Wait => {
-                    // The wait completed (this call happens after the wait's
-                    // completion); take the measurement now.
-                    self.t_last = now;
-                    self.state = ReceiverState::Decode;
-                    let replacement = self.layout.replacement_for(self.decode_count);
-                    self.decode_count += 1;
-                    let order = replacement.shuffled(&mut self.rng);
-                    return Action::MeasuredChase(order);
-                }
-                ReceiverState::Decode => {
-                    // Decode completed; wait for the next sampling point.
-                    self.state = ReceiverState::Wait;
-                    return Action::WaitUntil(self.t_last + self.period);
-                }
+            ReceiverState::Wait => {
+                // The wait completed (this call happens after the wait's
+                // completion); take the measurement now.
+                self.t_last = now;
+                self.state = ReceiverState::Decode;
+                let replacement = self.layout.replacement_for(self.decode_count);
+                self.decode_count += 1;
+                let order = replacement.shuffled(&mut self.rng);
+                Action::MeasuredChase(order)
+            }
+            ReceiverState::Decode => {
+                // Decode completed; wait for the next sampling point.
+                self.state = ReceiverState::Wait;
+                Action::WaitUntil(self.t_last + self.period)
             }
         }
     }
@@ -297,8 +295,16 @@ mod tests {
                 _ => unreachable!(),
             }
         };
-        assert_eq!(set_of(chases[0]), set_of(chases[2]), "decode 0 and 2 use set A");
-        assert_eq!(set_of(chases[1]), set_of(chases[3]), "decode 1 and 3 use set B");
+        assert_eq!(
+            set_of(chases[0]),
+            set_of(chases[2]),
+            "decode 0 and 2 use set A"
+        );
+        assert_eq!(
+            set_of(chases[1]),
+            set_of(chases[3]),
+            "decode 1 and 3 use set B"
+        );
         assert_ne!(set_of(chases[0]), set_of(chases[1]), "A and B are disjoint");
     }
 

@@ -275,7 +275,7 @@ mod tests {
             .iter()
             .filter(|a| matches!(a, Action::Store(_)))
             .count();
-        assert_eq!(stores, 0 + 3 + 5 + 8);
+        assert_eq!(stores, 3 + 5 + 8);
     }
 
     #[test]

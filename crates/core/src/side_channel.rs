@@ -22,7 +22,6 @@ use crate::error::Error;
 use analysis::threshold::BinaryThreshold;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sim_cache::line::DomainId;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::SetLines;
@@ -32,7 +31,8 @@ const ATTACKER_DOMAIN: DomainId = 1;
 const VICTIM_DOMAIN: DomainId = 2;
 
 /// The three attack scenarios of Section IX.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Scenario {
     /// Figure 9(a): secret-dependent *store*; attacker probes set *m*.
     DirtyBranch,
@@ -61,7 +61,8 @@ impl Scenario {
 }
 
 /// Configuration of a side-channel experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SideChannelConfig {
     /// Machine to attack.
     pub machine: MachineConfig,
@@ -91,7 +92,8 @@ impl Default for SideChannelConfig {
 }
 
 /// Result of one side-channel experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SideChannelResult {
     /// Which scenario was run.
     pub scenario: Scenario,
@@ -141,8 +143,20 @@ impl Setup {
         Ok(Setup {
             probe_m_a: SetLines::build(attacker, geometry, config.set_m, 10, 1_000),
             probe_m_b: SetLines::build(attacker, geometry, config.set_m, 10, 2_000),
-            prime_m: SetLines::build(attacker, geometry, config.set_m, geometry.associativity, 3_000),
-            prime_n: SetLines::build(attacker, geometry, config.set_n, geometry.associativity, 3_000),
+            prime_m: SetLines::build(
+                attacker,
+                geometry,
+                config.set_m,
+                geometry.associativity,
+                3_000,
+            ),
+            prime_n: SetLines::build(
+                attacker,
+                geometry,
+                config.set_n,
+                geometry.associativity,
+                3_000,
+            ),
             // Two victim lines per set so the timing variant can load two
             // lines serially per branch, as the paper requires.
             victim_line0: SetLines::build(victim, geometry, config.set_m, 2, 0),

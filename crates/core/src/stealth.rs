@@ -18,7 +18,6 @@ use crate::receiver::WbReceiver;
 use crate::sender::WbSender;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::{ChannelLayout, SetLines};
 use sim_core::perf::{PerfCounters, PerfLevel};
@@ -31,7 +30,8 @@ const SENDER_DOMAIN: u16 = 2;
 const COMPANION_DOMAIN: u16 = 4;
 
 /// Who shares the physical core with the WB sender.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SenderCompanion {
     /// The WB receiver (the covert channel is running) — the "WB" column.
     WbReceiver,
@@ -42,7 +42,8 @@ pub enum SenderCompanion {
 }
 
 /// Per-level cache load rates (Table VI).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LoadProfile {
     /// L1 data-cache loads per millisecond.
     pub l1_per_ms: f64,
@@ -55,7 +56,8 @@ pub struct LoadProfile {
 }
 
 /// Per-level miss rates of the sender process (Table VII).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MissRateProfile {
     /// L1 data-cache miss rate in `[0, 1]`.
     pub l1d: f64,
@@ -66,7 +68,8 @@ pub struct MissRateProfile {
 }
 
 /// Raw output of one stealth run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StealthRun {
     /// The sender's raw perf counters.
     pub sender_counters: PerfCounters,
@@ -342,6 +345,10 @@ mod tests {
             gpp.l1d,
             alone.l1d
         );
-        assert!(gpp.l1d < 0.5, "the sender remains mostly L1-resident: {}", gpp.l1d);
+        assert!(
+            gpp.l1d < 0.5,
+            "the sender remains mostly L1-resident: {}",
+            gpp.l1d
+        );
     }
 }

@@ -6,7 +6,6 @@
 //! [`Defense::apply_to_machine`] install it; the evaluation harness in
 //! [`crate::evaluate`] then measures what is left of the channel.
 
-use serde::{Deserialize, Serialize};
 use sim_cache::hierarchy::RandomFillConfig;
 use sim_cache::policy::PolicyKind;
 use sim_cache::waymask::WayMask;
@@ -20,7 +19,8 @@ pub const RECEIVER_DOMAIN: u16 = 1;
 pub const SENDER_DOMAIN: u16 = 2;
 
 /// A defense against the WB channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum Defense {
     /// No defense (baseline).
@@ -227,7 +227,9 @@ mod tests {
     #[test]
     fn partitioning_defense_restricts_both_domains() {
         let mut machine = Machine::xeon_e5_2650(PolicyKind::TreePlru, 2);
-        Defense::NoMoPartitioning.apply_to_machine(&mut machine).unwrap();
+        Defense::NoMoPartitioning
+            .apply_to_machine(&mut machine)
+            .unwrap();
         let receiver_mask = machine.hierarchy().l1().partition_of(RECEIVER_DOMAIN);
         let sender_mask = machine.hierarchy().l1().partition_of(SENDER_DOMAIN);
         assert_eq!(receiver_mask.count(), 4);
@@ -239,7 +241,10 @@ mod tests {
     fn runtime_flags_match_the_defense_kind() {
         assert!(Defense::PlCacheLocking.locks_protected_lines());
         assert!(!Defense::None.locks_protected_lines());
-        assert_eq!(Defense::PrefetchGuard { degree: 3 }.guard_prefetch_degree(), 3);
+        assert_eq!(
+            Defense::PrefetchGuard { degree: 3 }.guard_prefetch_degree(),
+            3
+        );
         assert_eq!(Defense::None.guard_prefetch_degree(), 0);
     }
 

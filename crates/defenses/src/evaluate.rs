@@ -11,7 +11,6 @@ use crate::defense::{Defense, RECEIVER_DOMAIN, SENDER_DOMAIN};
 use analysis::threshold::BinaryThreshold;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use sim_cache::cache::AccessContext;
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::{Machine, MachineConfig};
@@ -20,7 +19,8 @@ use sim_core::process::{AddressSpace, ProcessId};
 use wb_channel::Error;
 
 /// Result of evaluating one defense.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefenseEvaluation {
     /// The defense evaluated.
     pub defense: Defense,
@@ -46,7 +46,8 @@ pub struct DefenseEvaluation {
 pub const MITIGATION_ACCURACY: f64 = 0.75;
 
 /// Configuration of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EvaluationConfig {
     /// Samples per class (half used for calibration, half for scoring).
     pub samples: usize,
@@ -158,7 +159,9 @@ pub fn evaluate_defense(
         if defense.locks_protected_lines() {
             for line in locked_lines.drain(..) {
                 machine.hierarchy_mut().l1_mut().unlock_line(line);
-                machine.hierarchy_mut().flush(line, AccessContext::for_domain(SENDER_DOMAIN));
+                machine
+                    .hierarchy_mut()
+                    .flush(line, AccessContext::for_domain(SENDER_DOMAIN));
             }
         }
         measured
@@ -289,7 +292,11 @@ mod tests {
 
     #[test]
     fn partitioning_defenses_stop_the_channel() {
-        for defense in [Defense::NoMoPartitioning, Defense::Dawg, Defense::PlCacheLocking] {
+        for defense in [
+            Defense::NoMoPartitioning,
+            Defense::Dawg,
+            Defense::PlCacheLocking,
+        ] {
             let result = evaluate_defense(defense, &config()).unwrap();
             assert!(
                 result.mitigated,

@@ -14,15 +14,16 @@
 //! * [`LineAddr`] — an address truncated to cache-line granularity, used as
 //!   the tag-store key.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A byte-granular physical address in the simulated machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhysAddr(pub u64);
 
 /// A cache-line-granular address (the low `log2(line_size)` bits are zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LineAddr(pub u64);
 
 impl fmt::Display for PhysAddr {
@@ -112,7 +113,8 @@ impl LineAddr {
 /// `CacheGeometry` is `Copy` and carried inside [`crate::config::CacheConfig`];
 /// it performs the index/tag arithmetic that both the simulator and the
 /// attacker code (in `sim-core::memlayout`) need.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -158,13 +160,14 @@ impl CacheGeometry {
                 requirement: "must be a non-zero power of two",
             });
         }
-        let way_bytes = associativity
-            .checked_mul(line_size)
-            .ok_or(crate::Error::InvalidGeometry {
-                field: "associativity",
-                value: associativity,
-                requirement: "associativity * line_size overflows",
-            })?;
+        let way_bytes =
+            associativity
+                .checked_mul(line_size)
+                .ok_or(crate::Error::InvalidGeometry {
+                    field: "associativity",
+                    value: associativity,
+                    requirement: "associativity * line_size overflows",
+                })?;
         if size_bytes % way_bytes != 0 {
             return Err(crate::Error::InvalidGeometry {
                 field: "size_bytes",
@@ -231,7 +234,10 @@ impl CacheGeometry {
 
     /// Reconstructs the line address from a `(set, tag)` pair.
     pub fn line_addr(self, set: usize, tag: u64) -> LineAddr {
-        LineAddr((tag << (self.line_offset_bits() + self.index_bits())) | ((set as u64) << self.line_offset_bits()))
+        LineAddr(
+            (tag << (self.line_offset_bits() + self.index_bits()))
+                | ((set as u64) << self.line_offset_bits()),
+        )
     }
 }
 

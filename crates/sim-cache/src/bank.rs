@@ -9,10 +9,10 @@
 //! sender and receiver hyper-threads.
 
 use crate::addr::{CacheGeometry, PhysAddr};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the banked L1 data array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BankConfig {
     /// Number of banks (Sandy Bridge L1D: 16 banks of 4 bytes).
     pub num_banks: usize,

@@ -317,7 +317,9 @@ impl Cache {
         };
 
         let store_dirty = dirty && self.config.write_policy == WritePolicy::WriteBack;
-        self.sets[set].line_mut(way).fill(tag, store_dirty, ctx.domain);
+        self.sets[set]
+            .line_mut(way)
+            .fill(tag, store_dirty, ctx.domain);
         self.policy.on_fill(set, way);
         self.stats.fills += 1;
         if prefetch {
@@ -495,7 +497,10 @@ mod tests {
         for tag in 32..64u64 {
             cache.fill(addr(set, tag), ctx, false, false);
         }
-        assert!(!cache.contains(protected), "unlocked line is evictable again");
+        assert!(
+            !cache.contains(protected),
+            "unlocked line is evictable again"
+        );
     }
 
     #[test]
@@ -512,7 +517,11 @@ mod tests {
         for tag in 100..104u64 {
             cache.fill(addr(set, tag), AccessContext::for_domain(2), false, false);
         }
-        assert_eq!(cache.owned_count_in_set(set, 1), 4, "domain 2 must not evict domain 1");
+        assert_eq!(
+            cache.owned_count_in_set(set, 1),
+            4,
+            "domain 2 must not evict domain 1"
+        );
         assert_eq!(cache.owned_count_in_set(set, 2), 4);
         assert!(cache.set_partition(1, WayMask::EMPTY).is_err());
     }

@@ -15,10 +15,10 @@ use crate::outcome::{AccessKind, AccessOutcome, HitLevel};
 use crate::policy::PolicyKind;
 use crate::prefetch::{NextLinePrefetcher, PrefetchConfig};
 use crate::stats::HierarchyStats;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a full hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyConfig {
     /// L1 data cache configuration.
     pub l1d: CacheConfig,
@@ -41,7 +41,8 @@ pub struct HierarchyConfig {
 }
 
 /// Configuration of the random-fill L1 defense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RandomFillConfig {
     /// Half-width of the fill neighbourhood, in cache lines.
     pub window: u64,
@@ -256,7 +257,10 @@ impl CacheHierarchy {
     fn push_writeback_to_l2(&mut self, evicted: EvictedLine, ctx: AccessContext) {
         let owner_ctx = AccessContext::for_domain(evicted.owner);
         let _ = ctx;
-        if let Some(spill) = self.l2.accept_writeback(PhysAddr(evicted.addr.value()), owner_ctx) {
+        if let Some(spill) = self
+            .l2
+            .accept_writeback(PhysAddr(evicted.addr.value()), owner_ctx)
+        {
             if spill.dirty {
                 let spill_ctx = AccessContext::for_domain(spill.owner);
                 let _ = self
@@ -312,8 +316,8 @@ impl CacheHierarchy {
         }
 
         // ---- Fill the L1 (write-allocate) or bypass -----------------------
-        let l1_no_allocate = is_write
-            && self.l1d.config().write_miss_policy == WriteMissPolicy::NoWriteAllocate;
+        let l1_no_allocate =
+            is_write && self.l1d.config().write_miss_policy == WriteMissPolicy::NoWriteAllocate;
         let mut l1_filled = false;
         let mut l1_evicted = None;
         let mut l1_victim_dirty = false;
@@ -430,17 +434,15 @@ impl CacheHierarchy {
         hit: HitLevel,
         cycles: u64,
     ) -> AccessOutcome {
-        let window = self
-            .random_fill
-            .map(|c| c.window.max(1))
-            .unwrap_or(1);
+        let window = self.random_fill.map(|c| c.window.max(1)).unwrap_or(1);
         // xorshift64* step for a deterministic, cheap fill choice.
         let mut x = self.fill_rng_state;
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
         self.fill_rng_state = x;
-        let offset = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (2 * window + 1)) as i64 - window as i64;
+        let offset =
+            (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % (2 * window + 1)) as i64 - window as i64;
         let line_size = self.l1d.geometry().line_size as i64;
         let fill_target = addr.value() as i64 + offset * line_size;
         let fill_addr = PhysAddr(fill_target.max(0) as u64);
@@ -577,7 +579,10 @@ mod tests {
         let a = addr(3, 5);
         let outcome = h.write(a, ctx);
         assert!(outcome.l1_filled);
-        assert!(h.l1().is_dirty(a), "write-allocate must install a dirty line");
+        assert!(
+            h.l1().is_dirty(a),
+            "write-allocate must install a dirty line"
+        );
         assert_eq!(h.l1().dirty_count_in_set(3), 1);
     }
 
@@ -589,7 +594,10 @@ mod tests {
         let a = addr(3, 5);
         h.read(a, ctx);
         let store = h.write(a, ctx);
-        assert!(store.cycles > h.latency_model().l1_hit, "store pays the through-write");
+        assert!(
+            store.cycles > h.latency_model().l1_hit,
+            "store pays the through-write"
+        );
         assert!(!h.l1().is_dirty(a));
         assert_eq!(h.l1().dirty_count_in_set(3), 0);
         // A store miss does not allocate in the L1.
@@ -605,7 +613,10 @@ mod tests {
         let a = addr(10, 4);
         h.write(a, ctx);
         let flush = h.flush(a, ctx);
-        assert!(flush.writebacks >= 1, "dirty line flush performs a write-back");
+        assert!(
+            flush.writebacks >= 1,
+            "dirty line flush performs a write-back"
+        );
         assert!(!h.l1().contains(a));
         assert!(!h.l2().contains(a));
         assert!(!h.llc().contains(a));
@@ -621,7 +632,8 @@ mod tests {
         let ctx_sender = AccessContext::for_domain(1);
         let set = 21;
         let sweep = |h: &mut CacheHierarchy, tags: std::ops::Range<u64>| -> u64 {
-            tags.map(|t| h.read(addr(set, 1000 + t), ctx_receiver).cycles).sum()
+            tags.map(|t| h.read(addr(set, 1000 + t), ctx_receiver).cycles)
+                .sum()
         };
         let mut totals = Vec::new();
         for d in 0..=8usize {
@@ -673,7 +685,10 @@ mod tests {
         let g = h.l1_geometry();
         for t in 0..16u64 {
             h.read(PhysAddr::from_set_and_tag(g.set_index(a), 500 + t, g), ctx);
-            h.read(PhysAddr::from_set_and_tag(g.set_index(next), 500 + t, g), ctx);
+            h.read(
+                PhysAddr::from_set_and_tag(g.set_index(next), 500 + t, g),
+                ctx,
+            );
         }
         assert!(!h.l1().contains(a));
         // A demand miss on `a` should prefetch `next` into the L1.

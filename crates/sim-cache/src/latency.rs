@@ -14,10 +14,9 @@
 //! ±1–2-cycle spread seen on hardware is added later by `sim-core`'s
 //! measurement-noise model so that the cache itself stays deterministic.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-event latencies in core cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyModel {
     /// Latency of an L1D hit.
     pub l1_hit: u64,

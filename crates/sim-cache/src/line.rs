@@ -5,8 +5,6 @@
 //! and the identifier of the protection domain that installed the line
 //! (DAWG defense, perf attribution).
 
-use serde::{Deserialize, Serialize};
-
 /// The protection/attribution domain a line belongs to.
 ///
 /// In the covert-channel experiments domain 0 is the receiver, domain 1 the
@@ -16,7 +14,8 @@ use serde::{Deserialize, Serialize};
 pub type DomainId = u16;
 
 /// State of one cache line (one way of one set).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheLine {
     /// Whether the way currently holds a valid line.
     valid: bool,

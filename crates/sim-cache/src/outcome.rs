@@ -7,11 +7,11 @@
 
 use crate::addr::LineAddr;
 use crate::config::CacheLevel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The kind of memory operation performed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A demand load.
     Read,
@@ -36,7 +36,8 @@ impl fmt::Display for AccessKind {
 }
 
 /// Where in the hierarchy a demand access was served.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HitLevel {
     /// Served by the L1 data cache.
     L1D,
@@ -77,7 +78,8 @@ impl fmt::Display for HitLevel {
 }
 
 /// The result of one access to a [`crate::hierarchy::CacheHierarchy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccessOutcome {
     /// Operation performed.
     pub kind: AccessKind,

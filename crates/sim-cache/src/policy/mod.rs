@@ -38,7 +38,6 @@ pub use random::PseudoRandom;
 pub use srrip::Srrip;
 
 use crate::waymask::WayMask;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Object-safe interface every replacement policy implements.
@@ -71,7 +70,8 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
 }
 
 /// Enumerates the built-in policies; used in configurations and sweeps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum PolicyKind {
     /// Exact least-recently-used.
@@ -100,8 +100,11 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// The policies compared in the paper's Table II.
-    pub const TABLE_II: [PolicyKind; 3] =
-        [PolicyKind::TrueLru, PolicyKind::TreePlru, PolicyKind::IntelLike];
+    pub const TABLE_II: [PolicyKind; 3] = [
+        PolicyKind::TrueLru,
+        PolicyKind::TreePlru,
+        PolicyKind::IntelLike,
+    ];
 
     /// Human-readable label used in result tables.
     pub fn label(self) -> &'static str {
@@ -163,7 +166,8 @@ impl fmt::Display for PolicyKind {
 /// Policies cannot use thread-local entropy: experiments must be exactly
 /// reproducible from the configured seed, and pulling a heavyweight RNG into
 /// the victim-selection hot path would dominate simulator profiles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub(crate) struct PolicyRng {
     state: u64,
 }

@@ -224,7 +224,10 @@ mod tests {
                 }
                 p.on_fill(0, v);
             }
-            assert!(way_of_line0.is_none(), "9 fills must evict line 0 (raw {raw:#b})");
+            assert!(
+                way_of_line0.is_none(),
+                "9 fills must evict line 0 (raw {raw:#b})"
+            );
         }
     }
 

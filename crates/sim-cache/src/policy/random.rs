@@ -66,7 +66,10 @@ mod tests {
             let v = policy.choose_victim(0, mask).unwrap();
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all ways should eventually be chosen");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all ways should eventually be chosen"
+        );
     }
 
     #[test]

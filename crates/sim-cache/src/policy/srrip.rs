@@ -96,8 +96,8 @@ mod tests {
             srrip.on_fill(0, w);
         }
         srrip.on_hit(0, 1); // RRPV 0
-        // Ways 0,2,3 have RRPV 2; way 1 has 0.  Ageing makes 0,2,3 reach 3
-        // before way 1, so the victim must not be way 1.
+                            // Ways 0,2,3 have RRPV 2; way 1 has 0.  Ageing makes 0,2,3 reach 3
+                            // before way 1, so the victim must not be way 1.
         let v = srrip.choose_victim(0, WayMask::all(4)).unwrap();
         assert_ne!(v, 1);
     }

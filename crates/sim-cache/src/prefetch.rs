@@ -11,11 +11,11 @@
 //!   drives these models directly.
 
 use crate::addr::{CacheGeometry, PhysAddr};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Configuration for the next-line prefetcher.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrefetchConfig {
     /// How many sequential lines to prefetch after a demand miss.
     pub degree: usize,
@@ -50,7 +50,12 @@ impl NextLinePrefetcher {
     }
 
     /// Candidate prefetch addresses for a demand access to `addr`.
-    pub fn candidates(&self, addr: PhysAddr, geometry: CacheGeometry, was_hit: bool) -> Vec<PhysAddr> {
+    pub fn candidates(
+        &self,
+        addr: PhysAddr,
+        geometry: CacheGeometry,
+        was_hit: bool,
+    ) -> Vec<PhysAddr> {
         if was_hit && !self.config.on_hit {
             return Vec::new();
         }
@@ -133,7 +138,10 @@ mod tests {
         let addr = PhysAddr(0x1000);
         let candidates = pf.candidates(addr, g, false);
         assert_eq!(candidates, vec![PhysAddr(0x1040), PhysAddr(0x1080)]);
-        assert!(pf.candidates(addr, g, true).is_empty(), "hits do not trigger");
+        assert!(
+            pf.candidates(addr, g, true).is_empty(),
+            "hits do not trigger"
+        );
     }
 
     #[test]

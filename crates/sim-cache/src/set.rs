@@ -7,10 +7,10 @@
 
 use crate::line::{CacheLine, DomainId};
 use crate::waymask::WayMask;
-use serde::{Deserialize, Serialize};
 
 /// One set of a set-associative cache.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheSet {
     lines: Vec<CacheLine>,
 }

@@ -6,12 +6,12 @@
 //! simulator maintains; `sim-core::perf` aggregates these per process to
 //! emulate Linux `perf`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign};
 
 /// Counters for one cache level.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Loads that hit in this level.
     pub read_hits: u64,
@@ -119,7 +119,8 @@ impl fmt::Display for CacheStats {
 }
 
 /// Statistics for a whole [`crate::hierarchy::CacheHierarchy`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyStats {
     /// L1 data-cache counters.
     pub l1d: CacheStats,

@@ -9,14 +9,14 @@
 //! * **Fill placement.**  A domain that owns only a subset of the ways can
 //!   only install new lines into that subset.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A bitmask over the ways of a cache set (way `i` ↔ bit `i`).
 ///
 /// Supports up to 64 ways, which comfortably covers every cache in the paper
 /// (8-way L1/L2, 20-way LLC).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WayMask(u64);
 
 impl WayMask {
@@ -48,7 +48,10 @@ impl WayMask {
     ///
     /// Panics if `start > end` or `end > 64`.
     pub fn range(start: usize, end: usize) -> WayMask {
-        assert!(start <= end && end <= 64, "invalid way range {start}..{end}");
+        assert!(
+            start <= end && end <= 64,
+            "invalid way range {start}..{end}"
+        );
         let mut mask = 0u64;
         for way in start..end {
             mask |= 1 << way;

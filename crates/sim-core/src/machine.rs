@@ -22,7 +22,6 @@ use crate::sched::{InterruptConfig, InterruptModel};
 use crate::tsc::{TscConfig, TscModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use sim_cache::addr::{CacheGeometry, PhysAddr};
 use sim_cache::cache::AccessContext;
 use sim_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
@@ -31,7 +30,8 @@ use sim_cache::outcome::AccessOutcome;
 use sim_cache::policy::PolicyKind;
 
 /// Configuration of a [`Machine`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Cache-hierarchy configuration.
     pub hierarchy: HierarchyConfig,
@@ -78,7 +78,8 @@ impl Default for MachineConfig {
 }
 
 /// Summary of one [`Machine::run`] invocation.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunSummary {
     /// Cycle at which the run stopped.
     pub finished_at: u64,
@@ -178,9 +179,7 @@ impl Machine {
 
     /// Performs a demand load for `domain` and advances the clock.
     pub fn read(&mut self, domain: DomainId, addr: PhysAddr) -> AccessOutcome {
-        let outcome = self
-            .hierarchy
-            .read(addr, AccessContext::for_domain(domain));
+        let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
         self.perf.record(domain, &outcome);
         self.now += outcome.cycles;
         outcome
@@ -212,9 +211,7 @@ impl Machine {
     pub fn measured_chase(&mut self, domain: DomainId, addrs: &[PhysAddr]) -> (u64, u64) {
         let mut total = 0u64;
         for &addr in addrs {
-            let outcome = self
-                .hierarchy
-                .read(addr, AccessContext::for_domain(domain));
+            let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
             self.perf.record(domain, &outcome);
             total += outcome.cycles;
         }
@@ -225,9 +222,7 @@ impl Machine {
 
     /// Executes a single measured load, returning `(measured, outcome)`.
     pub fn measured_read(&mut self, domain: DomainId, addr: PhysAddr) -> (u64, AccessOutcome) {
-        let outcome = self
-            .hierarchy
-            .read(addr, AccessContext::for_domain(domain));
+        let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
         self.perf.record(domain, &outcome);
         self.now += outcome.cycles;
         let measured = self.tsc.measure(outcome.cycles, &mut self.rng);
@@ -308,9 +303,7 @@ impl Machine {
                     continue;
                 }
                 Action::Load(addr) => {
-                    let outcome = self
-                        .hierarchy
-                        .read(addr, AccessContext::for_domain(domain));
+                    let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
                     self.perf.record(domain, &outcome);
                     completion.latency = outcome.cycles;
                     completion.outcomes.push(outcome);
@@ -334,9 +327,7 @@ impl Machine {
                 Action::MeasuredChase(addrs) => {
                     let mut total = 0;
                     for addr in addrs {
-                        let outcome = self
-                            .hierarchy
-                            .read(addr, AccessContext::for_domain(domain));
+                        let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
                         self.perf.record(domain, &outcome);
                         total += outcome.cycles;
                         completion.outcomes.push(outcome);
@@ -345,9 +336,7 @@ impl Machine {
                     completion.measured = Some(self.tsc.measure(total, &mut self.rng));
                 }
                 Action::MeasuredLoad(addr) => {
-                    let outcome = self
-                        .hierarchy
-                        .read(addr, AccessContext::for_domain(domain));
+                    let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
                     self.perf.record(domain, &outcome);
                     completion.latency = outcome.cycles;
                     completion.measured = Some(self.tsc.measure(outcome.cycles, &mut self.rng));
@@ -463,19 +452,23 @@ mod tests {
         let mut a = ScriptedActor::new(
             "a",
             1,
-            vec![Action::Load(a_addr), Action::Compute(50), Action::Load(a_addr)],
+            vec![
+                Action::Load(a_addr),
+                Action::Compute(50),
+                Action::Load(a_addr),
+            ],
         );
-        let mut b = ScriptedActor::new(
-            "b",
-            2,
-            vec![Action::Compute(10), Action::Load(b_addr)],
-        );
+        let mut b = ScriptedActor::new("b", 2, vec![Action::Compute(10), Action::Load(b_addr)]);
         let summary = {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut a, &mut b];
             m.run(&mut actors, 1_000_000)
         };
         assert!(!summary.hit_limit);
-        assert_eq!(summary.actions, vec![4, 3], "each actor runs its script plus Done");
+        assert_eq!(
+            summary.actions,
+            vec![4, 3],
+            "each actor runs its script plus Done"
+        );
         assert_eq!(a.completions().len(), 3);
         assert_eq!(b.completions().len(), 2);
         // The second load of `a` is an L1 hit because the first one filled it.
@@ -514,7 +507,8 @@ mod tests {
     #[test]
     fn wait_until_lands_on_the_requested_cycle() {
         let mut m = ideal_machine();
-        let mut actor = ScriptedActor::new("w", 1, vec![Action::WaitUntil(5_000), Action::Compute(1)]);
+        let mut actor =
+            ScriptedActor::new("w", 1, vec![Action::WaitUntil(5_000), Action::Compute(1)]);
         {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut actor];
             m.run(&mut actors, 100_000);
@@ -539,7 +533,10 @@ mod tests {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut actor];
             m.run(&mut actors, 1_000_000)
         };
-        assert!(summary.stalled_cycles[0] > 0, "the actor must have been preempted");
+        assert!(
+            summary.stalled_cycles[0] > 0,
+            "the actor must have been preempted"
+        );
     }
 
     #[test]

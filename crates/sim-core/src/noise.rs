@@ -37,6 +37,7 @@ pub struct NoisyNeighbor {
 impl NoisyNeighbor {
     /// Creates a noise process touching `line_count` lines of `set` every
     /// `interval` cycles.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         space: AddressSpace,
         geometry: CacheGeometry,
@@ -163,23 +164,18 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::ideal(PolicyKind::TrueLru, 1)).unwrap();
         let g = machine.l1_geometry();
         let set = 33;
-        let mut noise = NoisyNeighbor::new(
-            AddressSpace::new(ProcessId(5)),
-            g,
-            set,
-            3,
-            500,
-            0.0,
-            5,
-            42,
-        );
+        let mut noise =
+            NoisyNeighbor::new(AddressSpace::new(ProcessId(5)), g, set, 3, 500, 0.0, 5, 42);
         {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut noise];
             machine.run(&mut actors, 50_000);
         }
         // The noise process owns lines only in the target set.
         let owned_in_target = machine.hierarchy().l1().owned_count_in_set(set, 5);
-        assert!(owned_in_target > 0, "noise lines must have landed in the set");
+        assert!(
+            owned_in_target > 0,
+            "noise lines must have landed in the set"
+        );
         for other in 0..g.num_sets {
             if other != set {
                 assert_eq!(machine.hierarchy().l1().owned_count_in_set(other, 5), 0);
@@ -193,16 +189,8 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::ideal(PolicyKind::TrueLru, 1)).unwrap();
         let g = machine.l1_geometry();
         let set = 12;
-        let mut noise = NoisyNeighbor::new(
-            AddressSpace::new(ProcessId(6)),
-            g,
-            set,
-            2,
-            200,
-            1.0,
-            6,
-            43,
-        );
+        let mut noise =
+            NoisyNeighbor::new(AddressSpace::new(ProcessId(6)), g, set, 2, 200, 1.0, 6, 43);
         {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut noise];
             machine.run(&mut actors, 20_000);
@@ -213,14 +201,8 @@ mod tests {
     #[test]
     fn polluter_generates_broad_traffic() {
         let mut machine = Machine::new(MachineConfig::ideal(PolicyKind::TreePlru, 2)).unwrap();
-        let mut polluter = RandomPolluter::new(
-            AddressSpace::new(ProcessId(7)),
-            256 * 1024,
-            0.3,
-            10,
-            7,
-            44,
-        );
+        let mut polluter =
+            RandomPolluter::new(AddressSpace::new(ProcessId(7)), 256 * 1024, 0.3, 10, 7, 44);
         {
             let mut actors: Vec<&mut dyn Actor> = vec![&mut polluter];
             machine.run(&mut actors, 200_000);

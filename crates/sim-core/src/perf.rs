@@ -5,7 +5,6 @@
 //! (Table VII).  The simulator attributes every access outcome to the issuing
 //! domain and accumulates the same counters here.
 
-use serde::{Deserialize, Serialize};
 use sim_cache::line::DomainId;
 use sim_cache::outcome::{AccessKind, AccessOutcome, HitLevel};
 use std::collections::HashMap;
@@ -13,7 +12,8 @@ use std::collections::HashMap;
 /// Counters for one process/domain, mirroring the events the paper samples
 /// with `perf` (`L1-dcache-loads`, `L1-dcache-load-misses`, and the L2/LLC
 /// equivalents).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfCounters {
     /// Loads that reached the L1 (i.e. all demand loads).
     pub l1_loads: u64,
@@ -118,7 +118,8 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Which level a [`PerfCounters::loads_per_ms`] query refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PerfLevel {
     /// L1 data cache.
     L1,
@@ -131,7 +132,8 @@ pub enum PerfLevel {
 }
 
 /// Per-domain performance-counter store.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfStore {
     counters: HashMap<DomainId, PerfCounters>,
 }

@@ -13,11 +13,11 @@
 
 use crate::memlayout::SetLines;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use sim_cache::addr::PhysAddr;
 
 /// A randomly permuted, serialised walk over a replacement set.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PointerChase {
     order: Vec<PhysAddr>,
 }

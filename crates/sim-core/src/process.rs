@@ -8,7 +8,6 @@
 //! select the cache set (the L1 is virtually indexed) while guaranteeing that
 //! two processes never alias the same physical line.
 
-use serde::{Deserialize, Serialize};
 use sim_cache::addr::{CacheGeometry, PhysAddr};
 use sim_cache::line::DomainId;
 use std::fmt;
@@ -18,7 +17,8 @@ use std::fmt;
 pub const ASID_SHIFT: u32 = 40;
 
 /// A process identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcessId(pub u16);
 
 impl fmt::Display for ProcessId {
@@ -35,7 +35,8 @@ impl From<u16> for ProcessId {
 
 /// An address space: translates process-local virtual addresses into the
 /// simulator's flat physical space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AddressSpace {
     pid: ProcessId,
 }
@@ -75,7 +76,8 @@ impl AddressSpace {
 }
 
 /// Descriptive metadata for a simulated process.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Process {
     /// Process identifier.
     pub pid: ProcessId,

@@ -130,10 +130,7 @@ impl ScriptedActor {
 
     /// The measured latencies of all measured actions, in order.
     pub fn measurements(&self) -> Vec<u64> {
-        self.completions
-            .iter()
-            .filter_map(|c| c.measured)
-            .collect()
+        self.completions.iter().filter_map(|c| c.measured).collect()
     }
 }
 

@@ -13,10 +13,10 @@
 //! cycles (with jitter).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the per-thread interruption process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InterruptConfig {
     /// Mean cycles between interruptions (0 disables interruptions).
     pub period: u64,
@@ -74,7 +74,8 @@ impl Default for InterruptConfig {
 }
 
 /// Per-thread interruption state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InterruptModel {
     next_at: u64,
 }
@@ -170,10 +171,11 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(2);
         let mut model = InterruptModel::new(&config, &mut rng);
-        let mut now = 0u64;
         for _ in 0..100 {
-            now = model.next_at();
-            let stall = model.poll(now, &config, &mut rng).expect("due interruption");
+            let now = model.next_at();
+            let stall = model
+                .poll(now, &config, &mut rng)
+                .expect("due interruption");
             assert!((400..=600).contains(&stall));
         }
     }

@@ -15,10 +15,10 @@
 //!   few cycles.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the measurement model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TscConfig {
     /// Fixed overhead added to every measured interval (cycles).
     pub overhead: u64,
@@ -69,7 +69,8 @@ impl Default for TscConfig {
 }
 
 /// The measurement model applied to true elapsed cycle counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TscModel {
     config: TscConfig,
 }

@@ -16,7 +16,8 @@ use rand::{Rng, SeedableRng};
 use sim_cache::line::DomainId;
 
 /// Parameters of the compiler-like workload.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompilerWorkloadConfig {
     /// Size of the streaming "source text" region in bytes.
     pub source_bytes: u64,

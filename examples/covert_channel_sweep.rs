@@ -16,9 +16,16 @@ use dirty_cache_repro::wb_channel::capacity::PAPER_PERIODS;
 use dirty_cache_repro::wb_channel::channel::{ChannelConfig, CovertChannel};
 use dirty_cache_repro::wb_channel::encoding::SymbolEncoding;
 
-fn sweep(label: &str, encoding: SymbolEncoding, frames: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn sweep(
+    label: &str,
+    encoding: SymbolEncoding,
+    frames: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== {label} ==");
-    println!("{:>12} {:>12} {:>10}", "Ts (cycles)", "rate (kbps)", "mean BER");
+    println!(
+        "{:>12} {:>12} {:>10}",
+        "Ts (cycles)", "rate (kbps)", "mean BER"
+    );
     for &period in PAPER_PERIODS.iter().rev() {
         let config = ChannelConfig::builder()
             .encoding(encoding.clone())

@@ -17,7 +17,10 @@ use dirty_cache_repro::wb_channel::encoding::SymbolEncoding;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secret = b"dirty bits leak!";
-    println!("sender wants to exfiltrate: {:?}", String::from_utf8_lossy(secret));
+    println!(
+        "sender wants to exfiltrate: {:?}",
+        String::from_utf8_lossy(secret)
+    );
 
     // One dirty line per '1' bit: the stealthiest configuration.
     let config = ChannelConfig::builder()
@@ -45,9 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recovered = bits_to_bytes(&received_payload);
 
     println!("transmission rate : {:.0} kbps", report.rate_kbps);
-    println!("bit error rate    : {:.2}%", report.bit_error_rate() * 100.0);
+    println!(
+        "bit error rate    : {:.2}%",
+        report.bit_error_rate() * 100.0
+    );
     println!("edit distance     : {}", report.edit_distance);
-    println!("receiver recovered: {:?}", String::from_utf8_lossy(&recovered));
+    println!(
+        "receiver recovered: {:?}",
+        String::from_utf8_lossy(&recovered)
+    );
     println!(
         "latency samples (first 16): {:?}",
         &report.latencies[..16.min(report.latencies.len())]

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trials: 400,
         ..SideChannelConfig::default()
     };
-    println!("recovering {} random secret bits per scenario\n", config.trials);
+    println!(
+        "recovering {} random secret bits per scenario\n",
+        config.trials
+    );
     for scenario in Scenario::ALL {
         let result = run_scenario(&config, scenario)?;
         println!(

@@ -1,0 +1,252 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the workspace's benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`,
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrapped statistics it times a fixed number of
+//! iterations per sample and prints mean ns/iter — enough to compare runs by
+//! eye and to keep `cargo bench --no-run` compiling the real bench sources.
+//! `CRITERION_SHIM_SAMPLES` overrides the per-benchmark sample count (use
+//! `1` in CI smoke jobs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] for API compatibility.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 10;
+
+fn samples_override() -> Option<usize> {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, &mut routine);
+        self
+    }
+
+    /// Runs a parameterised benchmark; the closure receives the input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, &mut |b: &mut Bencher| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark routines; [`Bencher::iter`] times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, accumulating into the enclosing sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, routine: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let samples = samples_override().unwrap_or(sample_size);
+    // Warm-up pass, untimed.
+    let mut warmup = Bencher {
+        iterations: 1,
+        total_nanos: 0,
+    };
+    routine(&mut warmup);
+
+    let mut total_nanos: u128 = 0;
+    let mut total_iters: u64 = 0;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations: 1,
+            total_nanos: 0,
+        };
+        routine(&mut bencher);
+        total_nanos += bencher.total_nanos;
+        total_iters += bencher.iterations;
+    }
+    if total_iters > 0 {
+        let mean = total_nanos / total_iters as u128;
+        println!("bench: {name:<60} {mean:>12} ns/iter ({total_iters} iters)");
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(0u8)));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups_without_panicking() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

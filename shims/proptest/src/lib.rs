@@ -1,0 +1,436 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest 1.x API the workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range and `any::<T>()` strategies,
+//! tuples of strategies, [`collection::vec`], [`strategy::Just`],
+//! [`prop_oneof!`], `prop_map`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the panic from the raw inputs.
+//! * **Deterministic seeding.** Cases are generated from a fixed per-test
+//!   seed so CI runs are reproducible; set `PROPTEST_CASES` to scale the
+//!   case count up or down without touching code.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   collecting a failure for the shrinker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rand::rngs::StdRng;
+pub use rand::{Rng, SeedableRng};
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of type [`Strategy::Value`].
+    ///
+    /// Object-safe: `prop_oneof!` boxes its arms as
+    /// `Box<dyn Strategy<Value = T>>`.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Boxes this strategy, erasing its concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies; the expansion of
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .finish()
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over the given strategies.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let index = rng.gen_range(0..self.options.len());
+            self.options[index].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A);
+        (A, B);
+        (A, B, C);
+        (A, B, C, D);
+        (A, B, C, D, E);
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T` (uniform bits for integers and
+    /// `bool`, unit interval for `f64`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (before the `PROPTEST_CASES`
+        /// environment override).
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count: `PROPTEST_CASES` wins if set and parseable.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let cases = $crate::test_runner::ProptestConfig::effective_cases(&config);
+            // One deterministic stream per test, derived from the test name
+            // so distinct properties do not see correlated inputs.
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for byte in stringify!($name).bytes() {
+                seed = (seed ^ byte as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut rng = <$crate::StdRng as $crate::SeedableRng>::seed_from_u64(seed);
+            for case in 0..cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);
+                )+
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{cases} failed for `{}` (shim: no shrinking)",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strategy) as $crate::strategy::BoxedStrategy<_>,)+
+        ])
+    };
+}
+
+/// `assert!` inside a property (panics; the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` inside a property (panics; the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` inside a property (panics; the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 1usize..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<bool>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(n in prop_oneof![Just(3u32), small_even()]) {
+            let n: u32 = n;
+            prop_assert!(n == 3 || n.is_multiple_of(2));
+        }
+
+        #[test]
+        fn tuples_generate_componentwise((x, y) in (0u8..4, 10i64..20)) {
+            prop_assert!(x < 4);
+            prop_assert!((10..20).contains(&y));
+        }
+    }
+
+    #[test]
+    fn case_count_env_override_parses() {
+        let config = ProptestConfig::with_cases(17);
+        assert_eq!(config.cases, 17);
+    }
+}

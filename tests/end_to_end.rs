@@ -3,15 +3,13 @@
 //! evaluation uses it.
 
 use dirty_cache_repro::sim_cache::policy::PolicyKind;
+use dirty_cache_repro::sim_core::machine::MachineConfig;
 use dirty_cache_repro::sim_core::sched::InterruptConfig;
 use dirty_cache_repro::sim_core::tsc::TscConfig;
-use dirty_cache_repro::wb_channel::calibration::{
-    access_latency_classes, CalibrationConfig,
-};
+use dirty_cache_repro::wb_channel::calibration::{access_latency_classes, CalibrationConfig};
 use dirty_cache_repro::wb_channel::channel::{ChannelConfig, CovertChannel, NoiseConfig};
 use dirty_cache_repro::wb_channel::encoding::SymbolEncoding;
 use dirty_cache_repro::wb_channel::eviction::{analytic_dirty_eviction_probability, table_ii};
-use dirty_cache_repro::sim_core::machine::MachineConfig;
 
 #[test]
 fn covert_channel_delivers_a_byte_string_exactly_on_a_quiet_machine() {
@@ -28,8 +26,17 @@ fn covert_channel_delivers_a_byte_string_exactly_on_a_quiet_machine() {
     let payload = analysis::edit_distance::bytes_to_bits(b"HPCA-2022");
     let report = channel.transmit_bits(&payload).unwrap();
     assert_eq!(report.edit_distance, 0, "latencies: {:?}", report.latencies);
-    let recovered: Vec<bool> = report.received_bits.iter().skip(16).copied().take(payload.len()).collect();
-    assert_eq!(analysis::edit_distance::bits_to_bytes(&recovered), b"HPCA-2022");
+    let recovered: Vec<bool> = report
+        .received_bits
+        .iter()
+        .skip(16)
+        .copied()
+        .take(payload.len())
+        .collect();
+    assert_eq!(
+        analysis::edit_distance::bits_to_bytes(&recovered),
+        b"HPCA-2022"
+    );
 }
 
 #[test]
@@ -113,10 +120,7 @@ fn table_ii_and_table_iv_reproduce_the_papers_shape() {
     config.samples_per_level = 50;
     let classes = access_latency_classes(&config).unwrap();
     assert!(classes.l1_hit.mean < classes.l2_hit_clean_victim.mean);
-    assert!(
-        classes.l2_hit_dirty_victim.mean
-            > classes.l2_hit_clean_victim.mean + 8.0
-    );
+    assert!(classes.l2_hit_dirty_victim.mean > classes.l2_hit_clean_victim.mean + 8.0);
 
     // Table V analytic check quoted in Sec. VI-A.
     assert!((analytic_dirty_eviction_probability(8, 3, 10) - 0.991).abs() < 0.002);
