@@ -53,6 +53,22 @@ impl Table {
         self
     }
 
+    /// Appends already-formatted rows (e.g. the per-point rows collected by
+    /// the parallel scenario runner) in iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any row width does not match the headers.
+    pub fn extend_rows<I>(&mut self, rows: I) -> &mut Self
+    where
+        I: IntoIterator<Item = Vec<String>>,
+    {
+        for row in rows {
+            self.push_row(row);
+        }
+        self
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -466,6 +482,18 @@ mod tests {
         assert!(stem.with_extension("csv").exists());
         assert!(stem.with_extension("json").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn extend_rows_appends_in_order() {
+        let mut t = sample_table();
+        t.extend_rows(vec![vec![
+            "10".to_owned(),
+            "99%".to_owned(),
+            "50%".to_owned(),
+        ]]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows[2][0], "10");
     }
 
     #[test]

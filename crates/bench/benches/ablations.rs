@@ -4,6 +4,10 @@
 //! calibration batch under each variant (their *effect* on channel quality is
 //! covered by the `repro` experiments and the test suite).
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::MachineConfig;

@@ -1,6 +1,10 @@
 //! Criterion bench: raw simulator throughput (accesses per second) for the
 //! three hierarchy access paths the WB channel exercises.
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use sim_cache::prelude::*;
 use std::hint::black_box;

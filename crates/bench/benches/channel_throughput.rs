@@ -2,6 +2,10 @@
 //! (simulated frames per second of harness wall-clock) for the binary and
 //! multi-bit encodings at several of the paper's rates (Figures 5-7).
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_core::sched::InterruptConfig;
 use sim_core::tsc::TscConfig;

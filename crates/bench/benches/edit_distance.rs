@@ -1,6 +1,10 @@
 //! Criterion bench: Wagner-Fischer edit distance on frame-sized bit
 //! sequences — the post-processing cost of the paper's error metric.
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use analysis::edit_distance::{edit_distance, error_breakdown};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;

@@ -1,6 +1,10 @@
 //! Criterion bench: replacement-policy update and victim-selection cost for
 //! every implemented policy (the hot path of the cache simulator).
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_cache::policy::PolicyKind;
 use sim_cache::waymask::WayMask;

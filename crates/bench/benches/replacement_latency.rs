@@ -2,6 +2,10 @@
 //! takes the harness to collect one replacement-latency sample per dirty-line
 //! count, and the latency-class calibration (Table IV).
 
+// `criterion_group!` expands to undocumented public glue; benches are
+// not documented API.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::MachineConfig;

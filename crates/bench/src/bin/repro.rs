@@ -1,136 +1,258 @@
-//! `repro` — regenerates every table and figure of the paper's evaluation.
+//! `repro` — regenerates the paper's tables and figures in parallel.
 //!
 //! ```text
-//! Usage: repro [--quick|--full] [--out DIR] <experiment>...
-//!
-//! Experiments:
-//!   table2 table4 table5 table6 table7
-//!   fig4 fig5 fig6 fig7 fig8
-//!   bandwidth defenses sidechannel all
+//! Usage:
+//!   repro list [--quick|--full]
+//!   repro run <id|glob>... [--quick|--full] [--threads N] [--out DIR]
+//!                          [--seed SEED] [--no-progress]
 //! ```
 //!
-//! Each experiment prints its result table and writes Markdown/CSV/JSON
-//! copies under the output directory (default `results/`).
+//! `list` prints the scenario registry: stable id, paper cross-reference,
+//! and sweep width at the selected scale. `run` selects scenarios by exact
+//! id, glob (`'table*'`, `'fig?'`) or the keyword `all`, fans their sweep
+//! points out across `--threads` workers (default: all cores), prints each
+//! result table, writes Markdown/CSV/JSON copies under the output directory
+//! (default `results/`), and records the run in `results/manifest.json`.
+//!
+//! Results are bit-identical at any `--threads` value: every point's seed is
+//! derived from `(--seed, scenario id, point index)` before execution.
 
 use analysis::table::Table;
 use bench::Scale;
+use runner::manifest::write_manifest;
+use runner::pool::default_threads;
+use runner::{execute, Registry, RunConfig};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// Set once the stdout reader hangs up (`repro ... | head`); later emits
+/// become no-ops so a closed pipe never aborts a `run` mid-way — the result
+/// files and manifest are the product and must still be written.
+static STDOUT_GONE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Prints a line to stdout without panicking when the reader hangs up
+/// (`println!` would abort with a broken-pipe panic: Rust clears the default
+/// `SIGPIPE` disposition, and `unsafe_code` is denied workspace-wide so it
+/// cannot be restored). On a closed pipe, stdout echo is suppressed for the
+/// rest of the process; any other stdout error is fatal.
+fn emit(text: &dyn std::fmt::Display) {
+    use std::sync::atomic::Ordering;
+    if STDOUT_GONE.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut stdout = std::io::stdout().lock();
+    if let Err(error) = writeln!(stdout, "{text}") {
+        if error.kind() == std::io::ErrorKind::BrokenPipe {
+            STDOUT_GONE.store(true, Ordering::Relaxed);
+            return;
+        }
+        eprintln!("error: could not write to stdout: {error}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage:\n  repro list [--quick|--full]\n  repro run <id|glob>... \
+    [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n\
+    \nscenario ids (see `repro list`): table1 table2 table4 table5 table6 table7\n\
+    fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel; globs like 'table*' and\n\
+    the keyword `all` also work";
+
+/// Argument error: usage on stderr, exit 2. An explicit `--help` instead
+/// prints to stdout and exits 0 (see `main`).
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro [--quick|--full] [--out DIR] <experiment>...\n\
-         experiments: table2 table4 table5 table6 table7 fig4 fig5 fig6 fig7 fig8 \
-         bandwidth defenses sidechannel all"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
-fn write(table: &Table, out_dir: &Path, stem: &str) {
-    println!("{table}");
+fn list(registry: &Registry, scale: Scale) {
+    let mut table = Table::new(
+        format!(
+            "Registered scenarios ({} points at --{} scale)",
+            registry
+                .scenarios()
+                .iter()
+                .map(|s| (s.points)(scale))
+                .sum::<usize>(),
+            scale.label(),
+        ),
+        &["id", "paper ref", "section", "points", "summary"],
+    );
+    for scenario in registry.scenarios() {
+        table.push_row([
+            scenario.id.to_owned(),
+            scenario.paper_ref.to_owned(),
+            scenario.section.to_owned(),
+            (scenario.points)(scale).to_string(),
+            scenario.summary.to_owned(),
+        ]);
+    }
+    emit(&table);
+}
+
+/// Writes the table's three formats, then echoes it to stdout — files first,
+/// so a closed stdout pipe can never cost an artifact. On write failure
+/// returns the error so the caller can fail the run and record it in the
+/// manifest.
+fn write(table: &Table, out_dir: &Path, stem: &str) -> Result<(), String> {
     let path = out_dir.join(stem);
-    if let Err(error) = table.write_all_formats(&path) {
-        eprintln!("warning: could not write {}: {error}", path.display());
-    } else {
-        println!("  -> {}.{{md,csv,json}}\n", path.display());
+    let result = table.write_all_formats(&path);
+    emit(table);
+    match result {
+        Err(error) => Err(format!("could not write {}: {error}", path.display())),
+        Ok(()) => {
+            emit(&format_args!("  -> {}.{{md,csv,json}}\n", path.display()));
+            Ok(())
+        }
     }
 }
 
-fn run_experiment(name: &str, scale: Scale, out_dir: &Path) -> Result<(), wb_channel::Error> {
-    match name {
-        "table2" => write(&bench::experiment_table2(scale)?, out_dir, "table2"),
-        "table4" => write(&bench::experiment_table4(scale)?, out_dir, "table4"),
-        "table5" => write(&bench::experiment_table5(scale)?, out_dir, "table5"),
-        "table6" => write(&bench::experiment_table6(scale)?, out_dir, "table6"),
-        "table7" => write(&bench::experiment_table7(scale)?, out_dir, "table7"),
-        "fig4" => {
-            let (table, cdfs) = bench::experiment_fig4(scale)?;
-            write(&table, out_dir, "fig4");
-            // Also dump the raw CDFs for plotting.
-            let mut raw = Table::new("Figure 4 raw CDFs", &["d", "latency", "fraction"]);
-            for (d, cdf) in &cdfs {
-                for point in &cdf.points {
-                    raw.push_row([
-                        d.to_string(),
-                        format!("{:.0}", point.value),
-                        format!("{:.4}", point.fraction),
-                    ]);
-                }
-            }
-            write(&raw, out_dir, "fig4_cdf_points");
-        }
-        "fig5" | "fig7" => write(&bench::experiment_traces(scale)?, out_dir, "fig5_fig7"),
-        "fig6" => {
-            let ds: Vec<usize> = match scale {
-                Scale::Quick => vec![1, 4, 8],
-                Scale::Full => vec![1, 2, 3, 4, 5, 6, 7, 8],
-            };
-            write(&bench::experiment_error_rates(scale, &ds)?, out_dir, "fig6")
-        }
-        "fig8" => write(&bench::experiment_fig8(scale)?, out_dir, "fig8"),
-        "bandwidth" => write(
-            &bench::experiment_bandwidth_summary(scale)?,
-            out_dir,
-            "bandwidth",
-        ),
-        "defenses" => write(&bench::experiment_defenses(scale)?, out_dir, "defenses"),
-        "sidechannel" => write(
-            &bench::experiment_side_channel(scale)?,
-            out_dir,
-            "sidechannel",
-        ),
-        "all" => {
-            for experiment in [
-                "table2",
-                "table4",
-                "fig4",
-                "fig5",
-                "fig6",
-                "table5",
-                "table6",
-                "table7",
-                "fig8",
-                "bandwidth",
-                "defenses",
-                "sidechannel",
-            ] {
-                run_experiment(experiment, scale, out_dir)?;
-            }
-        }
-        other => {
-            eprintln!("unknown experiment: {other}");
-            usage();
-        }
+fn parse_seed(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
     }
-    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        usage();
+    };
+
+    if command == "--help" || command == "-h" {
+        emit(&USAGE);
+        return ExitCode::SUCCESS;
+    }
+
     let mut scale = Scale::Quick;
     let mut out_dir = PathBuf::from("results");
-    let mut experiments = Vec::new();
-    let mut iter = args.iter();
+    let mut threads = default_threads();
+    let mut root_seed = bench::SEED;
+    let mut progress = true;
+    let mut patterns = Vec::new();
+    // First run-only flag seen; `list` rejects these instead of silently
+    // ignoring them. Each flag's own match arm records itself here so the
+    // rejection list cannot drift from the parser.
+    let mut run_only_flag: Option<&str> = None;
+    let mut record_run_only = |flag: &'static str| {
+        if run_only_flag.is_none() {
+            run_only_flag = Some(flag);
+        }
+    };
+    // A flag's value must not itself look like a flag: `--out --no-progress`
+    // should be the usage error it almost certainly is, not a directory
+    // literally named "--no-progress".
+    let value = |next: Option<&String>| next.filter(|v| !v.starts_with("--")).cloned();
+    let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
-            "--out" => match iter.next() {
-                Some(dir) => out_dir = PathBuf::from(dir),
-                None => usage(),
-            },
-            "--help" | "-h" => usage(),
-            name => experiments.push(name.to_owned()),
+            "--no-progress" => {
+                record_run_only("--no-progress");
+                progress = false;
+            }
+            "--threads" => {
+                record_run_only("--threads");
+                match value(iter.next()).and_then(|n| n.parse().ok()) {
+                    Some(n) if n >= 1 => threads = n,
+                    _ => usage(),
+                }
+            }
+            "--out" => {
+                record_run_only("--out");
+                match value(iter.next()) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => usage(),
+                }
+            }
+            "--seed" => {
+                record_run_only("--seed");
+                match value(iter.next()).and_then(|s| parse_seed(&s)) {
+                    Some(seed) => root_seed = seed,
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => {
+                emit(&USAGE);
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                usage();
+            }
+            pattern => patterns.push(pattern.to_owned()),
         }
     }
-    if experiments.is_empty() {
-        usage();
-    }
-    for experiment in &experiments {
-        if let Err(error) = run_experiment(experiment, scale, &out_dir) {
-            eprintln!("experiment {experiment} failed: {error}");
-            return ExitCode::FAILURE;
+
+    let registry = bench::registry();
+    match command.as_str() {
+        "list" => {
+            if !patterns.is_empty() {
+                usage();
+            }
+            if let Some(flag) = run_only_flag {
+                eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            list(&registry, scale);
+            ExitCode::SUCCESS
         }
+        "run" => {
+            if patterns.is_empty() {
+                usage();
+            }
+            let selected = match registry.select(&patterns) {
+                Ok(selected) => selected,
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let config = RunConfig {
+                scale,
+                threads,
+                root_seed,
+                progress,
+            };
+            let mut runs = execute(&selected, &config);
+            let mut failed = false;
+            for run in &mut runs {
+                if let Some(error) = &run.error {
+                    eprintln!("scenario {} failed: {error}", run.id);
+                    failed = true;
+                }
+                // The manifest derives its status and outputs columns from
+                // `error` and `tables`; downstream tooling trusts both, so a
+                // failed write must set the error AND drop the phantom stem.
+                let mut unwritten = Vec::new();
+                for (stem, table) in &run.tables {
+                    if let Err(error) = write(table, &out_dir, stem) {
+                        eprintln!("scenario {}: {error}", run.id);
+                        failed = true;
+                        unwritten.push(stem.clone());
+                        if run.error.is_none() {
+                            run.error = Some(error);
+                        }
+                    }
+                }
+                run.tables.retain(|(stem, _)| !unwritten.contains(stem));
+            }
+            match write_manifest(&runs, &out_dir) {
+                Ok(path) => emit(&format_args!("manifest -> {}", path.display())),
+                Err(error) => {
+                    eprintln!("error: could not write manifest: {error}");
+                    failed = true;
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
     }
-    ExitCode::SUCCESS
 }

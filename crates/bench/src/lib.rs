@@ -1,563 +1,155 @@
 //! # bench
 //!
-//! The reproduction harness: one function per table/figure of the paper's
-//! evaluation, each returning an [`analysis::table::Table`] that the `repro`
-//! binary prints and writes to `results/` in Markdown, CSV and JSON.
+//! The reproduction harness: every table and figure of the paper's
+//! evaluation, registered as a [`runner`] scenario in [`scenarios`] and
+//! executed — serially or fanned out across cores — by the `repro` binary.
 //!
-//! Every experiment accepts a [`Scale`] so that quick smoke runs
-//! (`repro --quick`) and full-size reproductions share the same code path.
+//! Each scenario carries a stable id (`table2`, `fig6`, …), its paper
+//! cross-reference, and a sweep of independently runnable points; iteration
+//! counts come from the central [`Scale`] sizing table so quick smoke runs
+//! (`repro run all --quick`) and paper-scale reproductions (`--full`) share
+//! one code path. See `docs/ARCHITECTURE.md` for the scenario ↔ paper map.
+//!
+//! ```rust
+//! use bench::{registry, Scale};
+//! use runner::{execute, RunConfig};
+//!
+//! let registry = registry();
+//! let table2 = registry.get("table2").expect("registered");
+//! let config = RunConfig {
+//!     scale: Scale::Quick,
+//!     threads: 2,
+//!     root_seed: bench::SEED,
+//!     progress: false,
+//! };
+//! let runs = execute(&[table2], &config);
+//! assert_eq!(runs[0].tables[0].1.len(), 3); // N = 8, 9, 10
+//! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use analysis::table::{fixed, percent, percent2, Table};
-use baselines::common::BaselineChannel;
-use baselines::comparison::{loads_per_ms_estimate, noise_robustness_comparison};
-use baselines::lru_channel::LruChannel;
-use defenses::{evaluate_all, EvaluationConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sim_cache::policy::PolicyKind;
-use sim_core::machine::MachineConfig;
-use wb_channel::calibration::{access_latency_classes, latency_cdfs, CalibrationConfig};
-use wb_channel::capacity::{rate_kbps, PAPER_PERIODS};
-use wb_channel::channel::{ChannelConfig, CovertChannel};
-use wb_channel::encoding::SymbolEncoding;
-use wb_channel::eviction::{table_ii, table_v};
-use wb_channel::side_channel::{run_all, SideChannelConfig};
-use wb_channel::stealth::{sender_profile, table_vii_rows, SenderCompanion};
-use wb_channel::Error;
+pub mod scenarios;
 
-/// Experiment scale: how many trials/frames/samples to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Fast smoke-test sizes (seconds).
-    Quick,
-    /// Paper-comparable sizes (minutes).
-    Full,
-}
-
-impl Scale {
-    fn trials(self) -> usize {
-        match self {
-            Scale::Quick => 400,
-            Scale::Full => 10_000,
-        }
-    }
-
-    fn samples(self) -> usize {
-        match self {
-            Scale::Quick => 150,
-            Scale::Full => 1_000,
-        }
-    }
-
-    fn frames(self) -> usize {
-        match self {
-            Scale::Quick => 4,
-            Scale::Full => 90,
-        }
-    }
-
-    fn side_channel_trials(self) -> usize {
-        match self {
-            Scale::Quick => 120,
-            Scale::Full => 1_000,
-        }
-    }
-}
-
-/// Master seed used by all experiments (reproducible runs).
-pub const SEED: u64 = 2022;
-
-/// Table II: probability of line 0 being evicted.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_table2(scale: Scale) -> Result<Table, Error> {
-    let sizes = [8usize, 9, 10];
-    let rows = table_ii(&PolicyKind::TABLE_II, &sizes, scale.trials(), SEED)?;
-    let mut table = Table::new(
-        "Table II: probability of line 0 being evicted after N fills",
-        &["N", "LRU", "Tree-PLRU", "Intel-like (approx.)"],
-    );
-    for &n in &sizes {
-        let cell = |policy: PolicyKind| {
-            rows.iter()
-                .find(|r| r.policy == policy && r.replacement_set_size == n)
-                .map(|r| percent(r.probability))
-                .unwrap_or_default()
-        };
-        table.push_row([
-            n.to_string(),
-            cell(PolicyKind::TrueLru),
-            cell(PolicyKind::TreePlru),
-            cell(PolicyKind::IntelLike),
-        ]);
-    }
-    Ok(table)
-}
-
-/// Table IV: latency of the three cache-access classes.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_table4(scale: Scale) -> Result<Table, Error> {
-    let mut config = CalibrationConfig::new(PolicyKind::TreePlru, SEED);
-    config.machine = MachineConfig::ideal(PolicyKind::TreePlru, SEED);
-    config.samples_per_level = scale.samples();
-    let classes = access_latency_classes(&config)?;
-    let mut table = Table::new(
-        "Table IV: latency of cache accesses (cycles)",
-        &["access class", "paper", "measured (mean)"],
-    );
-    table.push_row([
-        "L1D hit".to_owned(),
-        "4-5".to_owned(),
-        fixed(classes.l1_hit.mean, 1),
-    ]);
-    table.push_row([
-        "L2 hit + replacing a clean line".to_owned(),
-        "10-12".to_owned(),
-        fixed(classes.l2_hit_clean_victim.mean, 1),
-    ]);
-    table.push_row([
-        "L2 hit + replacing a dirty line".to_owned(),
-        "22-23".to_owned(),
-        fixed(classes.l2_hit_dirty_victim.mean, 1),
-    ]);
-    Ok(table)
-}
-
-/// Figure 4: CDF of replacement-set access latency for d = 0..=8.
-///
-/// Returns the quartiles of each distribution as a table plus the full CDFs
-/// (which the `repro` binary writes as CSV).
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_fig4(
-    scale: Scale,
-) -> Result<(Table, Vec<(usize, analysis::histogram::Cdf)>), Error> {
-    let mut config = CalibrationConfig::new(PolicyKind::TreePlru, SEED);
-    config.samples_per_level = scale.samples();
-    let ds: Vec<usize> = (0..=8).collect();
-    let cdfs = latency_cdfs(&config, &ds)?;
-    let mut table = Table::new(
-        "Figure 4: replacement-set access latency vs dirty-line count",
-        &["d", "p25 (cycles)", "median", "p75", "p95"],
-    );
-    for (d, cdf) in &cdfs {
-        let q = |f: f64| cdf.quantile(f).map(|v| fixed(v, 0)).unwrap_or_default();
-        table.push_row([d.to_string(), q(0.25), q(0.5), q(0.75), q(0.95)]);
-    }
-    Ok((table, cdfs))
-}
-
-/// Figures 5 and 7: example received traces at 400 kbps (binary, d = 1/4/8)
-/// and 1100 kbps (two-bit symbols).
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_traces(scale: Scale) -> Result<Table, Error> {
-    let _ = scale;
-    let mut table = Table::new(
-        "Figures 5 & 7: example transmissions (128-bit frames, first 16 bits fixed)",
-        &[
-            "configuration",
-            "rate (kbps)",
-            "edit distance",
-            "bit error rate",
-        ],
-    );
-    for d in [1usize, 4, 8] {
-        let config = ChannelConfig::builder()
-            .encoding(SymbolEncoding::binary(d)?)
-            .period_cycles(5_500)
-            .seed(SEED)
-            .build()?;
-        let mut channel = CovertChannel::new(config)?;
-        let mut rng = StdRng::seed_from_u64(SEED + d as u64);
-        let payload: Vec<bool> = (0..112).map(|_| rng.gen()).collect();
-        let report = channel.transmit_bits(&payload)?;
-        table.push_row([
-            format!("Figure 5, binary d={d} @ Ts=5500"),
-            fixed(report.rate_kbps, 0),
-            report.edit_distance.to_string(),
-            percent2(report.bit_error_rate()),
-        ]);
-    }
-    let config = ChannelConfig::builder()
-        .encoding(SymbolEncoding::paper_two_bit())
-        .period_cycles(4_000)
-        .seed(SEED)
-        .build()?;
-    let mut channel = CovertChannel::new(config)?;
-    let mut rng = StdRng::seed_from_u64(SEED + 99);
-    let payload: Vec<bool> = (0..240).map(|_| rng.gen()).collect();
-    let report = channel.transmit_bits(&payload)?;
-    table.push_row([
-        "Figure 7, two-bit symbols (d in {0,3,5,8}) @ Ts=4000".to_owned(),
-        fixed(report.rate_kbps, 0),
-        report.edit_distance.to_string(),
-        percent2(report.bit_error_rate()),
-    ]);
-    Ok(table)
-}
-
-/// Figure 6 + the multi-bit sweep of Section V: bit error rate vs
-/// transmission rate.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_error_rates(scale: Scale, dirty_counts: &[usize]) -> Result<Table, Error> {
-    let mut table = Table::new(
-        "Figure 6: bit error rate vs transmission rate (binary symbols) and the two-bit sweep",
-        &["encoding", "Ts=Tr (cycles)", "rate (kbps)", "mean BER"],
-    );
-    for &d in dirty_counts {
-        for &period in PAPER_PERIODS.iter().rev() {
-            let config = ChannelConfig::builder()
-                .encoding(SymbolEncoding::binary(d)?)
-                .period_cycles(period)
-                .seed(SEED ^ period)
-                .build()?;
-            let mut channel = CovertChannel::new(config)?;
-            let report = channel.evaluate(scale.frames(), 128)?;
-            table.push_row([
-                format!("binary d={d}"),
-                period.to_string(),
-                fixed(report.rate_kbps, 0),
-                percent2(report.mean_bit_error_rate),
-            ]);
-        }
-    }
-    // Two-bit symbols (the paper's 4400 kbps point is Ts = 1000).
-    for &period in PAPER_PERIODS.iter().rev() {
-        let config = ChannelConfig::builder()
-            .encoding(SymbolEncoding::paper_two_bit())
-            .period_cycles(period)
-            .seed(SEED ^ period ^ 0xff)
-            .build()?;
-        let mut channel = CovertChannel::new(config)?;
-        let report = channel.evaluate(scale.frames().max(2) / 2, 256)?;
-        table.push_row([
-            "two-bit {0,3,5,8}".to_owned(),
-            period.to_string(),
-            fixed(report.rate_kbps, 0),
-            percent2(report.mean_bit_error_rate),
-        ]);
-    }
-    Ok(table)
-}
-
-/// Table V: dirty-line eviction probability under random replacement.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_table5(scale: Scale) -> Result<Table, Error> {
-    let ls = [8usize, 9, 10, 11, 12, 13];
-    let rows = table_v(&[2, 3], &ls, scale.trials(), SEED)?;
-    let mut table = Table::new(
-        "Table V: probability that at least one dirty line is replaced (random replacement)",
-        &["d", "L", "measured", "analytic 1-((W-d)/W)^L"],
-    );
-    for row in rows {
-        table.push_row([
-            row.dirty_lines.to_string(),
-            row.replacement_set_size.to_string(),
-            percent(row.measured),
-            percent(row.analytic),
-        ]);
-    }
-    Ok(table)
-}
-
-/// Table VI: sender cache loads per millisecond, WB vs LRU channel.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_table6(scale: Scale) -> Result<Table, Error> {
-    let window = match scale {
-        Scale::Quick => 4_000_000,
-        Scale::Full => 22_000_000,
-    };
-    let period = 11_000u64;
-    let machine = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, SEED);
-    let wb = sender_profile(
-        machine,
-        &SymbolEncoding::binary(1)?,
-        period,
-        window,
-        SenderCompanion::WbReceiver,
-        SEED,
-    )?;
-    let wb_loads = wb.load_profile();
-
-    // LRU-channel sender: accesses per bit measured from a baseline run,
-    // converted to per-ms at the same Ts (plus the same spin footprint the WB
-    // sender was given).
-    let mut lru = LruChannel::new(SEED);
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let bits: Vec<bool> = (0..256).map(|_| rng.gen()).collect();
-    let lru_report = lru.transmit(&bits)?;
-    let lru_accesses_per_bit = lru_report.sender_accesses as f64 / bits.len() as f64;
-    let spin_per_bit = 24.0;
-    let lru_l1_per_ms = loads_per_ms_estimate(lru_accesses_per_bit + spin_per_bit, period, 2.2);
-
-    let mut table = Table::new(
-        "Table VI: sender cache loads per millisecond (Ts = 11000)",
-        &["level", "WB sender", "LRU-channel sender"],
-    );
-    table.push_row([
-        "L1".to_owned(),
-        fixed(wb_loads.l1_per_ms, 1),
-        fixed(lru_l1_per_ms, 1),
-    ]);
-    table.push_row([
-        "L2".to_owned(),
-        fixed(wb_loads.l2_per_ms, 1),
-        fixed(lru_l1_per_ms * 0.01, 1),
-    ]);
-    table.push_row([
-        "Total".to_owned(),
-        fixed(wb_loads.total_per_ms, 1),
-        fixed(lru_l1_per_ms * 1.01, 1),
-    ]);
-    table.push_row([
-        "WB / LRU ratio (paper: 59.8%)".to_owned(),
-        percent(wb_loads.total_per_ms / (lru_l1_per_ms * 1.01)),
-        "100%".to_owned(),
-    ]);
-    Ok(table)
-}
-
-/// Table VII: sender cache miss rates (binary and multi-bit encodings).
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_table7(scale: Scale) -> Result<Table, Error> {
-    let window = match scale {
-        Scale::Quick => 4_000_000,
-        Scale::Full => 22_000_000,
-    };
-    let machine = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, SEED);
-    let mut table = Table::new(
-        "Table VII: cache miss rates of the sender process",
-        &["encoding", "companion", "L1D", "L2", "LLC"],
-    );
-    for (label, encoding) in [
-        ("binary", SymbolEncoding::binary(1)?),
-        ("multi-bit", SymbolEncoding::paper_two_bit()),
-    ] {
-        let rows = table_vii_rows(machine, &encoding, 11_000, window, SEED)?;
-        for (companion, rates) in rows {
-            let companion_label = match companion {
-                SenderCompanion::WbReceiver => "WB channel",
-                SenderCompanion::CompilerWorkload => "sender & g++",
-                SenderCompanion::None => "sender only",
-            };
-            table.push_row([
-                label.to_owned(),
-                companion_label.to_owned(),
-                percent2(rates.l1d),
-                percent2(rates.l2),
-                percent2(rates.llc),
-            ]);
-        }
-    }
-    Ok(table)
-}
-
-/// Figure 8: noise robustness of the LRU channel, Prime+Probe and the WB
-/// channel.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_fig8(scale: Scale) -> Result<Table, Error> {
-    let bits = match scale {
-        Scale::Quick => 64,
-        Scale::Full => 256,
-    };
-    let rows = noise_robustness_comparison(bits, SEED)?;
-    let mut table = Table::new(
-        "Figure 8: effect of a noisy cache line on LRU, Prime+Probe and WB channels",
-        &[
-            "channel",
-            "BER without noise",
-            "BER with one noisy line/period",
-        ],
-    );
-    for row in rows {
-        table.push_row([
-            row.channel,
-            percent2(row.ber_clean),
-            percent2(row.ber_noisy),
-        ]);
-    }
-    Ok(table)
-}
-
-/// Section VIII: defense evaluation.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_defenses(scale: Scale) -> Result<Table, Error> {
-    let config = EvaluationConfig {
-        samples: scale.samples().min(400),
-        ..EvaluationConfig::default()
-    };
-    let rows = evaluate_all(&config)?;
-    let mut table = Table::new(
-        "Section VIII: defense evaluation (receiver accuracy distinguishing d=0 from d=3)",
-        &[
-            "defense",
-            "mean clean (cy)",
-            "mean dirty (cy)",
-            "accuracy",
-            "mitigated?",
-            "paper expectation",
-        ],
-    );
-    for row in rows {
-        table.push_row([
-            row.label,
-            fixed(row.mean_clean, 1),
-            fixed(row.mean_dirty, 1),
-            percent(row.accuracy),
-            if row.mitigated { "yes" } else { "no" }.to_owned(),
-            row.paper_expectation,
-        ]);
-    }
-    Ok(table)
-}
-
-/// Section IX: side-channel gadget attacks.
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_side_channel(scale: Scale) -> Result<Table, Error> {
-    let config = SideChannelConfig {
-        trials: scale.side_channel_trials(),
-        ..SideChannelConfig::default()
-    };
-    let rows = run_all(&config)?;
-    let mut table = Table::new(
-        "Section IX: secret-recovery accuracy of the three side-channel scenarios",
-        &["scenario", "trials", "accuracy"],
-    );
-    for row in rows {
-        table.push_row([
-            row.scenario.label().to_owned(),
-            row.trials.to_string(),
-            percent(row.accuracy),
-        ]);
-    }
-    Ok(table)
-}
-
-/// The headline bandwidth summary quoted in the abstract (1300–4400 kbps).
-///
-/// # Errors
-///
-/// Propagates simulator errors.
-pub fn experiment_bandwidth_summary(scale: Scale) -> Result<Table, Error> {
-    let mut table = Table::new(
-        "Peak-bandwidth summary (abstract: 1300-4400 kbps with low BER)",
-        &[
-            "encoding",
-            "Ts (cycles)",
-            "rate (kbps)",
-            "mean BER",
-            "usable (<5% BER)?",
-        ],
-    );
-    for (encoding, period) in [
-        (SymbolEncoding::binary(1)?, 1_600u64),
-        (SymbolEncoding::binary(8)?, 800),
-        (SymbolEncoding::paper_two_bit(), 1_000),
-    ] {
-        let bits = encoding.bits_per_symbol();
-        let config = ChannelConfig::builder()
-            .encoding(encoding.clone())
-            .period_cycles(period)
-            .seed(SEED)
-            .build()?;
-        let mut channel = CovertChannel::new(config)?;
-        let report = channel.evaluate(scale.frames(), 128 * bits)?;
-        table.push_row([
-            encoding.to_string(),
-            period.to_string(),
-            fixed(rate_kbps(bits, period, 2.2), 0),
-            percent2(report.mean_bit_error_rate),
-            if report.mean_bit_error_rate < 0.05 {
-                "yes"
-            } else {
-                "no"
-            }
-            .to_owned(),
-        ]);
-    }
-    Ok(table)
-}
+pub use runner::scale::{Scale, Sizes};
+pub use scenarios::{registry, ALL_SCENARIOS, DEFENSE_SEED, SEED};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use runner::scenario::{PointCtx, Scenario};
+
+    /// Runs every point of a scenario inline and assembles the outputs —
+    /// the single-threaded reference path the executor must agree with.
+    fn run_serial(scenario: &Scenario, scale: Scale) -> Vec<(String, analysis::table::Table)> {
+        let outputs: Vec<_> = (0..(scenario.points)(scale))
+            .map(|index| {
+                let ctx = PointCtx {
+                    scale,
+                    seed: scenario.point_seed(SEED, index),
+                    index,
+                };
+                (scenario.run_point)(&ctx).expect("point runs")
+            })
+            .collect();
+        (scenario.assemble)(scale, &outputs)
+    }
+
+    fn primary(id: &str) -> analysis::table::Table {
+        let registry = registry();
+        let scenario = registry.get(id).expect("registered");
+        run_serial(scenario, Scale::Quick).remove(0).1
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_cover_the_paper() {
+        let registry = registry();
+        assert_eq!(registry.scenarios().len(), ALL_SCENARIOS.len());
+        for scenario in registry.scenarios() {
+            assert!((scenario.points)(Scale::Quick) >= 1, "{}", scenario.id);
+            assert!(
+                (scenario.points)(Scale::Full) >= (scenario.points)(Scale::Quick),
+                "{}",
+                scenario.id
+            );
+            assert!(!scenario.paper_ref.is_empty() && !scenario.section.is_empty());
+        }
+        for id in [
+            "table2",
+            "table5",
+            "fig4",
+            "fig6",
+            "defenses",
+            "sidechannel",
+        ] {
+            assert!(registry.get(id).is_some(), "missing {id}");
+        }
+    }
 
     #[test]
     fn table2_has_three_sizes_and_three_policies() {
-        let table = experiment_table2(Scale::Quick).unwrap();
+        let table = primary("table2");
         assert_eq!(table.len(), 3);
         assert_eq!(table.headers.len(), 4);
     }
 
     #[test]
     fn table4_matches_paper_ranges() {
-        let table = experiment_table4(Scale::Quick).unwrap();
+        let table = primary("table4");
         assert_eq!(table.len(), 3);
-        let md = table.to_markdown();
-        assert!(md.contains("L1D hit"));
+        assert!(table.to_markdown().contains("L1D hit"));
     }
 
     #[test]
-    fn fig4_produces_nine_cdfs_with_monotone_medians() {
-        let (table, cdfs) = experiment_fig4(Scale::Quick).unwrap();
-        assert_eq!(table.len(), 9);
-        assert_eq!(cdfs.len(), 9);
-        let medians: Vec<f64> = cdfs.iter().map(|(_, c)| c.quantile(0.5).unwrap()).collect();
-        assert!(medians.windows(2).all(|w| w[1] >= w[0]));
+    fn fig4_produces_nine_rows_with_monotone_medians_and_raw_cdfs() {
+        let registry = registry();
+        let scenario = registry.get("fig4").expect("registered");
+        let tables = run_serial(scenario, Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        let (main, raw) = (&tables[0].1, &tables[1].1);
+        assert_eq!(main.len(), 9);
+        assert!(!raw.is_empty());
+        let medians: Vec<f64> = main
+            .rows
+            .iter()
+            .map(|row| row[2].parse().expect("numeric median"))
+            .collect();
+        assert!(medians.windows(2).all(|w| w[1] >= w[0]), "{medians:?}");
     }
 
     #[test]
     fn table5_contains_both_dirty_counts() {
-        let table = experiment_table5(Scale::Quick).unwrap();
+        let table = primary("table5");
         assert_eq!(table.len(), 12);
     }
 
     #[test]
     fn side_channel_experiment_reports_three_scenarios() {
-        let table = experiment_side_channel(Scale::Quick).unwrap();
+        let table = primary("sidechannel");
         assert_eq!(table.len(), 3);
     }
 
     #[test]
     fn traces_experiment_covers_figures_5_and_7() {
-        let table = experiment_traces(Scale::Quick).unwrap();
+        let table = primary("fig5-7");
         assert_eq!(table.len(), 4);
-        let md = table.to_markdown();
-        assert!(md.contains("Figure 7"));
+        assert!(table.to_markdown().contains("Figure 7"));
+    }
+
+    #[test]
+    fn fig6_grid_size_follows_the_sizing_table() {
+        let registry = registry();
+        let scenario = registry.get("fig6").expect("registered");
+        assert_eq!((scenario.points)(Scale::Quick), (3 + 1) * 6);
+        assert_eq!((scenario.points)(Scale::Full), (8 + 1) * 6);
+    }
+
+    #[test]
+    fn defenses_scenario_pins_its_calibrated_seed() {
+        let registry = registry();
+        let scenario = registry.get("defenses").expect("registered");
+        assert_eq!(scenario.point_seed(SEED, 0), DEFENSE_SEED);
+        assert_eq!(scenario.point_seed(0xdead_beef, 3), DEFENSE_SEED);
     }
 }

@@ -1,0 +1,247 @@
+//! Runs selected scenarios on the work-stealing pool.
+//!
+//! All sweep points of all selected scenarios are flattened into one task
+//! list (seeds pre-derived), fanned out across the pool, then grouped back
+//! per scenario and assembled **in point order** — so the output is
+//! bit-identical at any thread count, while a wide sweep like Figure 6
+//! saturates every core instead of running its grid serially.
+
+use crate::pool::run_ordered;
+use crate::scale::Scale;
+use crate::scenario::{PointCtx, PointOutput, Scenario};
+use analysis::table::Table;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of one `repro run` invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Worker threads (`1` runs everything inline on the caller).
+    pub threads: usize,
+    /// Root seed all derived scenario/point seeds descend from.
+    pub root_seed: u64,
+    /// Emit structured progress lines on stderr.
+    pub progress: bool,
+}
+
+/// The outcome of one scenario within a run.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Scenario id.
+    pub id: &'static str,
+    /// Paper cross-reference (e.g. `"Table II"`).
+    pub paper_ref: &'static str,
+    /// Scale the scenario ran at.
+    pub scale: Scale,
+    /// The scenario-level seed recorded in the manifest.
+    pub seed: u64,
+    /// Number of sweep points that ran.
+    pub points: usize,
+    /// Wall time from the first point starting to the last point finishing.
+    ///
+    /// The only non-deterministic field of a run: everything else is a pure
+    /// function of `(root seed, scale)`.
+    pub wall_ms: f64,
+    /// `(output stem, table)` pairs, primary table first. Empty on error.
+    pub tables: Vec<(String, Table)>,
+    /// The first point error, if any point failed.
+    pub error: Option<String>,
+}
+
+/// One task's result: timing plus the point outcome.
+struct PointRun {
+    started_ms: f64,
+    finished_ms: f64,
+    output: Result<PointOutput, String>,
+}
+
+/// Executes `scenarios` under `config` and returns one [`ScenarioRun`] per
+/// scenario, in the given order.
+pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> {
+    let epoch = Instant::now();
+    let point_counts: Vec<usize> = scenarios.iter().map(|s| (s.points)(config.scale)).collect();
+    let remaining: Vec<AtomicUsize> = point_counts.iter().map(|&n| AtomicUsize::new(n)).collect();
+    let announced: Vec<AtomicBool> = scenarios.iter().map(|_| AtomicBool::new(false)).collect();
+
+    // Flatten every (scenario, point) into one task list, seeds pre-derived.
+    let mut tasks: Vec<Box<dyn FnOnce() -> PointRun + Send + '_>> = Vec::new();
+    for (si, scenario) in scenarios.iter().enumerate() {
+        for index in 0..point_counts[si] {
+            let ctx = PointCtx {
+                scale: config.scale,
+                seed: scenario.point_seed(config.root_seed, index),
+                index,
+            };
+            let scenario = **scenario;
+            let points = point_counts[si];
+            let remaining = &remaining;
+            let announced = &announced;
+            let root_seed = config.root_seed;
+            let scale = config.scale;
+            let progress = config.progress;
+            tasks.push(Box::new(move || {
+                // Announce the scenario when its first point actually starts
+                // executing, not when it was queued.
+                if progress && !announced[si].swap(true, Ordering::AcqRel) {
+                    eprintln!(
+                        "[repro] run {} ({}) points={} seed={:#018x} scale={}",
+                        scenario.id,
+                        scenario.paper_ref,
+                        points,
+                        scenario.manifest_seed(root_seed),
+                        scale.label(),
+                    );
+                }
+                let started_ms = epoch.elapsed().as_secs_f64() * 1e3;
+                let output = (scenario.run_point)(&ctx);
+                let finished_ms = epoch.elapsed().as_secs_f64() * 1e3;
+                if remaining[si].fetch_sub(1, Ordering::AcqRel) == 1 && progress {
+                    eprintln!("[repro] done {}", scenario.id);
+                }
+                PointRun {
+                    started_ms,
+                    finished_ms,
+                    output,
+                }
+            }));
+        }
+    }
+
+    let mut results = run_ordered(config.threads, tasks).into_iter();
+
+    // Group the flat results back per scenario (submission order is grouped
+    // by scenario, so each scenario owns a contiguous run) and assemble.
+    let mut runs = Vec::with_capacity(scenarios.len());
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let group: Vec<PointRun> = results.by_ref().take(point_counts[si]).collect();
+        let started = group.iter().map(|p| p.started_ms).fold(f64::MAX, f64::min);
+        let finished = group.iter().map(|p| p.finished_ms).fold(0.0, f64::max);
+        let wall_ms = if group.is_empty() {
+            0.0
+        } else {
+            finished - started
+        };
+        let error = group.iter().find_map(|p| p.output.as_ref().err()).cloned();
+        let tables = if error.is_some() {
+            Vec::new()
+        } else {
+            let outputs: Vec<PointOutput> = group
+                .into_iter()
+                .map(|p| p.output.expect("checked error above"))
+                .collect();
+            (scenario.assemble)(config.scale, &outputs)
+        };
+        runs.push(ScenarioRun {
+            id: scenario.id,
+            paper_ref: scenario.paper_ref,
+            scale: config.scale,
+            seed: scenario.manifest_seed(config.root_seed),
+            points: point_counts[si],
+            wall_ms,
+            tables,
+            error,
+        });
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Seeding;
+    use analysis::table::Table;
+
+    fn seed_echo_scenario() -> Scenario {
+        fn points(scale: Scale) -> usize {
+            match scale {
+                Scale::Quick => 4,
+                Scale::Full => 8,
+            }
+        }
+        fn run(ctx: &PointCtx) -> Result<PointOutput, String> {
+            Ok(PointOutput::row([
+                ctx.index.to_string(),
+                format!("{:#x}", ctx.seed),
+            ]))
+        }
+        fn assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {
+            let mut table = Table::new("echo", &["index", "seed"]);
+            for output in outputs {
+                for row in &output.rows {
+                    table.push_row(row.clone());
+                }
+            }
+            vec![("echo".to_owned(), table)]
+        }
+        Scenario {
+            id: "echo",
+            paper_ref: "Table 0",
+            section: "Sec. 0",
+            summary: "echoes point seeds",
+            seeding: Seeding::Derived,
+            points,
+            run_point: run,
+            assemble,
+        }
+    }
+
+    #[test]
+    fn execute_is_thread_count_invariant() {
+        let scenario = seed_echo_scenario();
+        let scenarios = [&scenario];
+        let run_at = |threads: usize| {
+            let config = RunConfig {
+                scale: Scale::Quick,
+                threads,
+                root_seed: 2022,
+                progress: false,
+            };
+            execute(&scenarios, &config)
+                .remove(0)
+                .tables
+                .remove(0)
+                .1
+                .to_json()
+        };
+        let single = run_at(1);
+        assert_eq!(single, run_at(8));
+        assert_eq!(single, run_at(3));
+    }
+
+    #[test]
+    fn errors_are_captured_per_scenario() {
+        fn one(_: Scale) -> usize {
+            1
+        }
+        fn fail(_: &PointCtx) -> Result<PointOutput, String> {
+            Err("boom".to_owned())
+        }
+        fn assemble(_: Scale, _: &[PointOutput]) -> Vec<(String, Table)> {
+            unreachable!("assemble must not run for a failed scenario")
+        }
+        let bad = Scenario {
+            id: "bad",
+            paper_ref: "-",
+            section: "-",
+            summary: "always fails",
+            seeding: Seeding::Derived,
+            points: one,
+            run_point: fail,
+            assemble,
+        };
+        let good = seed_echo_scenario();
+        let config = RunConfig {
+            scale: Scale::Quick,
+            threads: 2,
+            root_seed: 1,
+            progress: false,
+        };
+        let runs = execute(&[&bad, &good], &config);
+        assert_eq!(runs[0].error.as_deref(), Some("boom"));
+        assert!(runs[0].tables.is_empty());
+        assert!(runs[1].error.is_none());
+        assert_eq!(runs[1].tables.len(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! The run manifest: what ran, with which seeds, and where the outputs went.
+//!
+//! The manifest is an [`analysis::table::Table`] serialised with the crate's
+//! hand-rolled JSON encoder, so downstream tooling can parse it back with
+//! [`Table::from_json`] without any external dependency. Apart from the
+//! wall-time column it is a pure function of `(root seed, scale, selection)`.
+
+use crate::executor::ScenarioRun;
+use analysis::table::{fixed, Table};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Column headers of the manifest table, in order.
+pub const MANIFEST_HEADERS: [&str; 8] = [
+    "id",
+    "paper ref",
+    "scale",
+    "seed",
+    "points",
+    "wall (ms)",
+    "status",
+    "outputs",
+];
+
+/// Index of the only non-deterministic manifest column (wall time) — the
+/// determinism tests blank it before comparing runs.
+pub const WALL_MS_COLUMN: usize = 5;
+
+/// Builds the manifest table for a set of completed scenario runs.
+pub fn manifest_table(runs: &[ScenarioRun]) -> Table {
+    let mut table = Table::new("repro run manifest", &MANIFEST_HEADERS);
+    for run in runs {
+        let outputs: Vec<String> = run
+            .tables
+            .iter()
+            .map(|(stem, _)| format!("{stem}.{{md,csv,json}}"))
+            .collect();
+        table.push_row([
+            run.id.to_owned(),
+            run.paper_ref.to_owned(),
+            run.scale.label().to_owned(),
+            format!("{:#018x}", run.seed),
+            run.points.to_string(),
+            fixed(run.wall_ms, 1),
+            run.error
+                .clone()
+                .map_or("ok".to_owned(), |e| format!("error: {e}")),
+            outputs.join(" "),
+        ]);
+    }
+    table
+}
+
+/// Writes `manifest.json` under `out_dir` and returns its path.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_manifest(runs: &[ScenarioRun], out_dir: &Path) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(out_dir)?;
+    let path = out_dir.join("manifest.json");
+    std::fs::write(&path, manifest_table(runs).to_json())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn run(id: &'static str, error: Option<String>) -> ScenarioRun {
+        ScenarioRun {
+            id,
+            paper_ref: "Table II",
+            scale: Scale::Quick,
+            seed: 0xabcd,
+            points: 3,
+            wall_ms: 1.25,
+            tables: vec![(id.to_owned(), Table::new("t", &["a"]))],
+            error,
+        }
+    }
+
+    #[test]
+    fn manifest_has_one_row_per_run_and_round_trips() {
+        let runs = vec![run("table2", None), run("fig4", Some("boom".to_owned()))];
+        let table = manifest_table(&runs);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.headers.len(), MANIFEST_HEADERS.len());
+        assert_eq!(table.headers[WALL_MS_COLUMN], "wall (ms)");
+        assert!(table.rows[0][6] == "ok");
+        assert!(table.rows[1][6].starts_with("error: boom"));
+        let back = Table::from_json(&table.to_json()).unwrap();
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn write_manifest_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("runner-manifest-{}", std::process::id()));
+        let path = write_manifest(&[run("table2", None)], &dir).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(Table::from_json(&json).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! A hand-rolled work-stealing thread pool over `std::thread`.
+//!
+//! The build environment is offline (no rayon/crossbeam), so the executor
+//! brings its own pool: each worker owns a deque seeded round-robin with
+//! tasks; a worker pops from the *front* of its own deque and steals from
+//! the *back* of a victim's. (Classic Blumofe–Leiserson pools pop LIFO for
+//! cache locality between parent and spawned child tasks; here every task
+//! is submitted up front and tasks never spawn tasks, so FIFO own-pop keeps
+//! execution in rough submission order — progress lines follow the paper's
+//! narrative — at no cost.) A worker that finds every deque empty can simply
+//! retire.
+//!
+//! Determinism: results are returned **in submission order** no matter which
+//! worker ran what, and seeds are derived before submission — scheduling can
+//! affect only wall time, never values.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::thread;
+
+/// The number of worker threads to default to: `available_parallelism`,
+/// or 1 if the platform cannot tell.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// Runs `jobs` on `threads` workers and returns their results in submission
+/// order.
+///
+/// With `threads <= 1` (or at most one job) everything runs inline on the
+/// calling thread — handy both as the baseline in determinism tests and to
+/// keep single-point runs allocation-free.
+///
+/// # Panics
+///
+/// If a job panics, the panic is propagated to the caller once all workers
+/// have stopped (via `std::thread::scope`).
+pub fn run_ordered<T, F>(threads: usize, jobs: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    let job_count = jobs.len();
+    if threads <= 1 || job_count <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let workers = threads.min(job_count);
+
+    // Per-worker deques, seeded round-robin so the initial split is even.
+    let deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, job) in jobs.into_iter().enumerate() {
+        deques[index % workers]
+            .lock()
+            .expect("deque poisoned")
+            .push_back((index, job));
+    }
+
+    // One slot per job; each job writes exactly its own slot, so the only
+    // contention is the brief per-slot lock.
+    let slots: Vec<Mutex<Option<T>>> = (0..job_count).map(|_| Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let mut task = deques[me].lock().expect("deque poisoned").pop_front();
+                if task.is_none() {
+                    for offset in 1..workers {
+                        let victim = (me + offset) % workers;
+                        task = deques[victim].lock().expect("deque poisoned").pop_back();
+                        if task.is_some() {
+                            break;
+                        }
+                    }
+                }
+                match task {
+                    Some((index, job)) => {
+                        let value = job();
+                        *slots[index].lock().expect("slot poisoned") = Some(value);
+                    }
+                    // Every deque is empty and no task spawns tasks: retire.
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every submitted job ran")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for threads in [1, 2, 4, 8, 33] {
+            let jobs: Vec<_> = (0..100).map(|i| move || i * i).collect();
+            let results = run_ordered(threads, jobs);
+            let expected: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(results, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..257)
+            .map(|_| {
+                let counter = &counter;
+                move || counter.fetch_add(1, Ordering::SeqCst)
+            })
+            .collect();
+        run_ordered(8, jobs);
+        assert_eq!(counter.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_ordered(64, vec![|| 1, || 2]), vec![1, 2]);
+        assert_eq!(run_ordered(4, Vec::<fn() -> u8>::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

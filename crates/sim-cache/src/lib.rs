@@ -53,7 +53,7 @@
 //! reproducible bit-for-bit.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod addr;

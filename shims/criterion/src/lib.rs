@@ -13,7 +13,7 @@
 //! `1` in CI smoke jobs).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::fmt;
 use std::time::Instant;

@@ -16,7 +16,7 @@
 //!   collecting a failure for the shrinker.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use rand::rngs::StdRng;
 pub use rand::{Rng, SeedableRng};

@@ -13,7 +13,7 @@
 //! crates.io is intended to be a drop-in swap.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Low-level source of randomness: everything funnels through `next_u64`.
 pub trait RngCore {

@@ -14,6 +14,8 @@
 //! * [`baselines`] — Flush+Reload, Flush+Flush, Prime+Probe, LRU channel.
 //! * [`defenses`] — random-fill, partitioning, PLcache, DAWG, prefetch-guard,
 //!   write-through and fuzzy-time defenses, with an evaluation harness.
+//! * [`runner`] — the scenario registry and work-stealing parallel executor
+//!   behind the `repro` binary (see `docs/ARCHITECTURE.md`).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 pub use analysis;
 pub use baselines;
 pub use defenses;
+pub use runner;
 pub use sim_cache;
 pub use sim_core;
 pub use wb_channel;
