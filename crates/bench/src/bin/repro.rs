@@ -53,10 +53,15 @@ fn emit(text: &dyn std::fmt::Display) {
 }
 
 const USAGE: &str = "usage:\n  repro list [--quick|--full]\n  repro run <id|glob>... \
-    [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n\
+    [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n  \
+    repro bench-sim [--quick|--full] [--out DIR] [--baseline PATH] [--max-regress PCT]\n\
     \nscenario ids (see `repro list`): table1 table2 table4 table5 table6 table7\n\
     fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel; globs like 'table*' and\n\
-    the keyword `all` also work";
+    the keyword `all` also work\n\
+    \nbench-sim measures cache-hierarchy throughput (accesses/sec) on three\n\
+    canonical traces, writes BENCH_sim.{md,csv,json} under --out, and exits\n\
+    non-zero when a trace regresses more than --max-regress percent (default\n\
+    30) below the --baseline table";
 
 /// Argument error: usage on stderr, exit 2. An explicit `--help` instead
 /// prints to stdout and exits 0 (see `main`).
@@ -132,15 +137,24 @@ fn main() -> ExitCode {
     let mut root_seed = bench::SEED;
     let mut progress = true;
     let mut patterns = Vec::new();
-    // First run-only flag seen; `list` rejects these instead of silently
-    // ignoring them. Each flag's own match arm records itself here so the
-    // rejection list cannot drift from the parser.
+    let mut baseline: Option<PathBuf> = None;
+    let mut max_regress = 0.30f64;
+    // First run-only / bench-sim-only flag seen; the other commands reject
+    // these instead of silently ignoring them. Each flag's own match arm
+    // records itself here so the rejection list cannot drift from the parser.
     let mut run_only_flag: Option<&str> = None;
     let mut record_run_only = |flag: &'static str| {
         if run_only_flag.is_none() {
             run_only_flag = Some(flag);
         }
     };
+    let mut bench_only_flag: Option<&str> = None;
+    let mut record_bench_only = |flag: &'static str| {
+        if bench_only_flag.is_none() {
+            bench_only_flag = Some(flag);
+        }
+    };
+    let mut out_flag_seen = false;
     // A flag's value must not itself look like a flag: `--out --no-progress`
     // should be the usage error it almost certainly is, not a directory
     // literally named "--no-progress".
@@ -162,10 +176,25 @@ fn main() -> ExitCode {
                 }
             }
             "--out" => {
-                record_run_only("--out");
+                // Shared by `run` and `bench-sim`; only `list` rejects it.
+                out_flag_seen = true;
                 match value(iter.next()) {
                     Some(dir) => out_dir = PathBuf::from(dir),
                     None => usage(),
+                }
+            }
+            "--baseline" => {
+                record_bench_only("--baseline");
+                match value(iter.next()) {
+                    Some(path) => baseline = Some(PathBuf::from(path)),
+                    None => usage(),
+                }
+            }
+            "--max-regress" => {
+                record_bench_only("--max-regress");
+                match value(iter.next()).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(pct) if (0.0..=100.0).contains(&pct) => max_regress = pct / 100.0,
+                    _ => usage(),
                 }
             }
             "--seed" => {
@@ -197,11 +226,68 @@ fn main() -> ExitCode {
                 eprintln!("{flag} only applies to `repro run`");
                 usage();
             }
+            if let Some(flag) = bench_only_flag {
+                eprintln!("{flag} only applies to `repro bench-sim`");
+                usage();
+            }
+            if out_flag_seen {
+                eprintln!("--out only applies to `repro run` and `repro bench-sim`");
+                usage();
+            }
             list(&registry, scale);
             ExitCode::SUCCESS
         }
+        "bench-sim" => {
+            if !patterns.is_empty() {
+                usage();
+            }
+            if let Some(flag) = run_only_flag {
+                eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            let results = bench::bench_sim::run(scale == Scale::Full);
+            let table = bench::bench_sim::results_table(&results);
+            if let Err(error) = write(&table, &out_dir, "BENCH_sim") {
+                eprintln!("error: {error}");
+                return ExitCode::FAILURE;
+            }
+            let Some(baseline_path) = baseline else {
+                return ExitCode::SUCCESS;
+            };
+            let parsed = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| e.to_string())
+                .and_then(|json| Table::from_json(&json));
+            let baseline_table = match parsed {
+                Ok(table) => table,
+                Err(error) => {
+                    eprintln!(
+                        "error: could not read baseline {}: {error}",
+                        baseline_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            };
+            let failures = bench::bench_sim::regressions(&results, &baseline_table, max_regress);
+            if failures.is_empty() {
+                emit(&format_args!(
+                    "bench-sim: within {:.0}% of {}",
+                    max_regress * 100.0,
+                    baseline_path.display()
+                ));
+                ExitCode::SUCCESS
+            } else {
+                for failure in failures {
+                    eprintln!("bench-sim regression: {failure}");
+                }
+                ExitCode::FAILURE
+            }
+        }
         "run" => {
             if patterns.is_empty() {
+                usage();
+            }
+            if let Some(flag) = bench_only_flag {
+                eprintln!("{flag} only applies to `repro bench-sim`");
                 usage();
             }
             let selected = match registry.select(&patterns) {

@@ -21,7 +21,7 @@ use baselines::comparison::{
     classification_table, loads_per_ms_estimate, noise_robustness_comparison,
 };
 use baselines::lru_channel::LruChannel;
-use defenses::{evaluate_defense, Defense, EvaluationConfig};
+use defenses::{evaluate_defense_majority, Defense, EvaluationConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use runner::scale::Scale;
@@ -40,11 +40,6 @@ use wb_channel::Error;
 
 /// The master root seed `repro run` defaults to (reproducible runs).
 pub const SEED: u64 = 2022;
-
-/// The calibrated operating-point seed of the Section VIII defense
-/// evaluation (see [`Seeding::Fixed`]): the random-replacement verdict sits
-/// at a borderline accuracy by design and was validated at this seed.
-pub const DEFENSE_SEED: u64 = 29;
 
 fn err(error: Error) -> String {
     error.to_string()
@@ -752,7 +747,10 @@ fn defenses_point(ctx: &PointCtx) -> Result<PointOutput, String> {
         seed: ctx.seed,
         ..EvaluationConfig::default()
     };
-    let row = evaluate_defense(defense, &config).map_err(err)?;
+    // Majority verdict over derived seeds: single-seed verdicts are
+    // borderline for random replacement at L = 10 by design (Sec. VI-A),
+    // which used to force a pinned calibration seed on this scenario.
+    let row = evaluate_defense_majority(defense, &config).map_err(err)?;
     Ok(PointOutput::row([
         row.label,
         fixed(row.mean_clean, 1),
@@ -786,8 +784,8 @@ pub const DEFENSES: Scenario = Scenario {
     id: "defenses",
     paper_ref: "Sec. VIII",
     section: "Sec. VIII",
-    summary: "defense ablations at the calibrated operating point",
-    seeding: Seeding::Fixed(DEFENSE_SEED),
+    summary: "defense ablations with a derived-seed majority verdict",
+    seeding: Seeding::Derived,
     points: defenses_points,
     run_point: defenses_point,
     assemble: defenses_assemble,

@@ -17,6 +17,7 @@ use analysis::stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_cache::policy::PolicyKind;
+use sim_cache::trace::TraceOp;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::{ChannelLayout, SetLines};
 use sim_core::process::{AddressSpace, ProcessId};
@@ -119,24 +120,25 @@ impl Bench {
     /// Warms every line into the outer levels and leaves the target set in a
     /// clean state.
     fn warm(&mut self) {
-        let all: Vec<_> = self
+        // The two parties' address spaces are disjoint, so the warm-up is
+        // two batched traces (receiver lines first, as before).
+        let receiver_warm: Vec<TraceOp> = self
             .receiver_layout
             .replacement_a
             .lines()
             .iter()
             .chain(self.receiver_layout.replacement_b.lines())
             .chain(self.receiver_layout.target_lines.lines())
-            .chain(self.sender_lines.lines())
-            .copied()
+            .map(|&addr| TraceOp::read(addr))
             .collect();
-        for addr in all {
-            let domain = if self.sender_lines.lines().contains(&addr) {
-                SENDER_DOMAIN
-            } else {
-                RECEIVER_DOMAIN
-            };
-            self.machine.read(domain, addr);
-        }
+        let sender_warm: Vec<TraceOp> = self
+            .sender_lines
+            .lines()
+            .iter()
+            .map(|&addr| TraceOp::read(addr))
+            .collect();
+        self.machine.run_trace(RECEIVER_DOMAIN, &receiver_warm);
+        self.machine.run_trace(SENDER_DOMAIN, &sender_warm);
         // One throw-away sweep to initialise the target set with clean lines.
         self.sweep();
     }
@@ -273,10 +275,19 @@ pub fn access_latency_classes(config: &CalibrationConfig) -> Result<AccessLatenc
     let dirty_probe = lines.line(sweep_len + 1);
     let samples = config.samples_per_level.max(8);
 
-    // Warm everything into the outer levels once.
-    for &line in lines.lines() {
-        machine.read(RECEIVER_DOMAIN, line);
-    }
+    // Warm everything into the outer levels once (one batched trace).
+    let warm: Vec<TraceOp> = lines.lines().iter().map(|&l| TraceOp::read(l)).collect();
+    machine.run_trace(RECEIVER_DOMAIN, &warm);
+
+    // The bulk phases of each sample are fixed, so their traces are built
+    // once and replayed through the batch engine every iteration.
+    let clean_refill: Vec<TraceOp> = (0..sweep_len)
+        .map(|i| TraceOp::read(lines.line(i)))
+        .collect();
+    let dirty_everything: Vec<TraceOp> = (0..sweep_len)
+        .map(|i| TraceOp::write(lines.line(i)))
+        .chain(std::iter::once(TraceOp::write(clean_probe)))
+        .collect();
 
     let mut l1_hits = Vec::new();
     let mut l2_clean = Vec::new();
@@ -285,9 +296,7 @@ pub fn access_latency_classes(config: &CalibrationConfig) -> Result<AccessLatenc
     for _ in 0..samples {
         // Refill the set with clean sweep lines; this evicts both probes and
         // any dirty lines left over from the previous iteration.
-        for i in 0..sweep_len {
-            machine.read(RECEIVER_DOMAIN, lines.line(i));
-        }
+        machine.run_trace(RECEIVER_DOMAIN, &clean_refill);
 
         // L1 hit: an immediate re-access of the line filled last.
         l1_hits.push(
@@ -302,10 +311,7 @@ pub fn access_latency_classes(config: &CalibrationConfig) -> Result<AccessLatenc
 
         // L2 hit replacing a dirty victim: dirty every line that could still
         // be resident, so the victim is necessarily dirty.
-        for i in 0..sweep_len {
-            machine.write(RECEIVER_DOMAIN, lines.line(i));
-        }
-        machine.write(RECEIVER_DOMAIN, clean_probe);
+        machine.run_trace(RECEIVER_DOMAIN, &dirty_everything);
         l2_dirty.push(machine.read(RECEIVER_DOMAIN, dirty_probe).cycles as f64);
     }
 

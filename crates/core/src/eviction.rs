@@ -56,20 +56,19 @@ pub fn line0_eviction_probability(
             seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9),
         )?;
         // Warm state: the set already holds unrelated lines, touched in a
-        // trial-dependent order.
-        for i in 0..geometry.associativity {
-            let tag = 100 + ((i * 5 + trial) % geometry.associativity) as u64;
-            let addr = PhysAddr::from_set_and_tag(set, tag, geometry);
-            cache.fill(addr, ctx, false, false);
-        }
-        // Line 0 is accessed (the access sequence of Sec. IV-A starts with it).
+        // trial-dependent order.  Line 0 is accessed next (the access
+        // sequence of Sec. IV-A starts with it), then the `n` replacement
+        // lines fill — all through the batch fill path.
         let line0 = PhysAddr::from_set_and_tag(set, 0, geometry);
-        cache.fill(line0, ctx, false, false);
-        // Fill `n` new replacement lines.
-        for i in 0..n {
-            let addr = PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry);
-            cache.fill(addr, ctx, false, false);
-        }
+        let trace: Vec<PhysAddr> = (0..geometry.associativity)
+            .map(|i| {
+                let tag = 100 + ((i * 5 + trial) % geometry.associativity) as u64;
+                PhysAddr::from_set_and_tag(set, tag, geometry)
+            })
+            .chain(std::iter::once(line0))
+            .chain((0..n).map(|i| PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry)))
+            .collect();
+        cache.fill_all(&trace, ctx, false);
         if !cache.contains(line0) {
             evicted += 1;
         }
@@ -163,10 +162,10 @@ pub fn random_replacement_dirty_eviction(
         // target set), then the sender dirties d of its own lines.  The paper
         // accesses the dirty lines "in a loop to ensure they are in the
         // target set".
-        for i in 0..geometry.associativity {
-            let addr = PhysAddr::from_set_and_tag(set, 500 + i as u64, geometry);
-            cache.fill(addr, receiver, false, false);
-        }
+        let init: Vec<PhysAddr> = (0..geometry.associativity)
+            .map(|i| PhysAddr::from_set_and_tag(set, 500 + i as u64, geometry))
+            .collect();
+        cache.fill_all(&init, receiver, false);
         let dirty_lines: Vec<PhysAddr> = (0..d)
             .map(|i| PhysAddr::from_set_and_tag(set, i as u64, geometry))
             .collect();
@@ -187,10 +186,10 @@ pub fn random_replacement_dirty_eviction(
             }
         }
         // The receiver accesses its replacement set of l lines.
-        for i in 0..l {
-            let addr = PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry);
-            cache.fill(addr, receiver, false, false);
-        }
+        let replacement: Vec<PhysAddr> = (0..l)
+            .map(|i| PhysAddr::from_set_and_tag(set, 1_000 + i as u64, geometry))
+            .collect();
+        cache.fill_all(&replacement, receiver, false);
         // At least one dirty line replaced?
         if cache.dirty_count_in_set(set) < d {
             hits += 1;

@@ -173,6 +173,22 @@ impl Defense {
         }
     }
 
+    /// The replacement-set size a realistic attacker uses against this
+    /// defense, given the evaluation's configured base size.
+    ///
+    /// Section VI-A's answer to pseudo-random replacement is precisely to
+    /// enlarge the receiver's replacement set: at `L = 10` a dirty line
+    /// survives each sweep with probability `((W-d)/W)^L ≈ 26%` (Table V),
+    /// which puts the verdict on the mitigation threshold, while `L = 12`
+    /// restores a stable channel.  Every other defense leaves the base size
+    /// unchanged.
+    pub fn attacker_replacement_size(&self, base: usize) -> usize {
+        match self {
+            Defense::RandomReplacement => base.max(12),
+            _ => base,
+        }
+    }
+
     /// Whether the evaluation loop must lock the protected process's dirty
     /// lines after each encoding step (PLcache).
     pub fn locks_protected_lines(&self) -> bool {

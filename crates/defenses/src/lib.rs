@@ -34,4 +34,7 @@ pub mod defense;
 pub mod evaluate;
 
 pub use defense::Defense;
-pub use evaluate::{evaluate_all, evaluate_defense, DefenseEvaluation, EvaluationConfig};
+pub use evaluate::{
+    evaluate_all, evaluate_defense, evaluate_defense_majority, DefenseEvaluation, EvaluationConfig,
+    MAJORITY_SEEDS,
+};

@@ -211,6 +211,47 @@ mod tests {
     }
 
     #[test]
+    fn empty_selection_reports_zero_wall_time() {
+        // A scenario with zero points (or an empty selection) must report
+        // wall_ms == 0.0, not the degenerate f64::MAX - 0.0 the min/max
+        // folds would produce without the empty-group guard.
+        fn none(_: Scale) -> usize {
+            0
+        }
+        fn run(_: &PointCtx) -> Result<PointOutput, String> {
+            unreachable!("a zero-point scenario must never run a point")
+        }
+        fn assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {
+            assert!(outputs.is_empty());
+            vec![("empty".to_owned(), Table::new("empty", &["c"]))]
+        }
+        let empty = Scenario {
+            id: "empty",
+            paper_ref: "-",
+            section: "-",
+            summary: "zero points",
+            seeding: Seeding::Derived,
+            points: none,
+            run_point: run,
+            assemble,
+        };
+        let config = RunConfig {
+            scale: Scale::Quick,
+            threads: 2,
+            root_seed: 1,
+            progress: false,
+        };
+        let runs = execute(&[&empty], &config);
+        assert_eq!(runs[0].points, 0);
+        assert_eq!(runs[0].wall_ms, 0.0);
+        assert!(runs[0].error.is_none());
+        assert_eq!(runs[0].tables.len(), 1);
+
+        // A fully empty selection produces no runs at all.
+        assert!(execute(&[], &config).is_empty());
+    }
+
+    #[test]
     fn errors_are_captured_per_scenario() {
         fn one(_: Scale) -> usize {
             1

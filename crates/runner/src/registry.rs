@@ -148,6 +148,43 @@ mod tests {
     }
 
     #[test]
+    fn glob_matching_edge_cases() {
+        // A bare `*` swallows anything, including the empty string.
+        assert!(glob_match("*", ""));
+        assert!(glob_match("**", "anything"));
+        assert!(glob_match("***", "x"));
+        // Star-free patterns are exact matches (`?` still matches one byte).
+        assert!(glob_match("table2", "table2"));
+        assert!(!glob_match("table2", "table22"));
+        assert!(!glob_match("table2", "table"));
+        assert!(glob_match("t?ble2", "table2"));
+        assert!(!glob_match("t?ble2", "tble2"));
+        // A suffix after a star must backtrack to the *last* viable spot.
+        assert!(glob_match("ta*2", "table2"));
+        assert!(glob_match("*2", "table2"));
+        assert!(glob_match("*22", "table222"));
+        assert!(!glob_match("*3", "table2"));
+        assert!(glob_match("a*a", "aa"));
+        assert!(!glob_match("a*a", "a"));
+        // The empty pattern matches only the empty string.
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "table2"));
+        // Trailing stars after the text is consumed are fine.
+        assert!(glob_match("table2*", "table2"));
+        assert!(glob_match("table2***", "table2"));
+        // A `?` can never match the empty remainder.
+        assert!(!glob_match("table2?", "table2"));
+    }
+
+    #[test]
+    fn select_rejects_the_empty_pattern_loudly() {
+        let mut registry = Registry::new();
+        registry.register(dummy("table2"));
+        let error = registry.select(&[String::new()]).unwrap_err();
+        assert!(error.contains("no scenario matches"), "{error}");
+    }
+
+    #[test]
     fn select_deduplicates_and_preserves_registration_order() {
         let mut registry = Registry::new();
         registry.register(dummy("table2"));

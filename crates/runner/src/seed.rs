@@ -11,12 +11,12 @@
 //! land on well-separated points of the SplitMix64 orbit.
 
 /// One application of the SplitMix64 finalizer.
-pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+///
+/// Canonically implemented in [`sim_cache::seed`] (the bottom crate of the
+/// workspace, which derives its internal RNG streams with the same mixer);
+/// re-exported here so harness code keeps its `runner::seed` spelling and
+/// the two layers cannot drift apart.
+pub use sim_cache::seed::splitmix64;
 
 /// FNV-1a hash of a string (64-bit), used to fold scenario ids into seeds.
 pub fn fnv1a(text: &str) -> u64 {

@@ -1,9 +1,20 @@
 //! A single cache level.
 //!
-//! [`Cache`] combines the tag store ([`crate::set::CacheSet`]), a replacement
-//! policy and per-level statistics.  It knows nothing about latency or about
-//! other levels; [`crate::hierarchy::CacheHierarchy`] composes several
-//! `Cache`s and attributes cycles.
+//! [`Cache`] combines the tag-store arena, a replacement policy and
+//! per-level statistics.  It knows nothing about latency or about other
+//! levels; [`crate::hierarchy::CacheHierarchy`] composes several `Cache`s
+//! and attributes cycles.
+//!
+//! ## Tag-store layout
+//!
+//! All lines of the level live in **one contiguous arena**
+//! (`Box<[CacheLine]>`): line `(set, way)` sits at index `set * ways + way`,
+//! and a [`crate::line::CacheLine`] is a packed 16-byte record (u64 tag +
+//! flag byte + owner).  The tag-match loop of every lookup therefore walks
+//! `ways` adjacent records — one cache line of host memory for an 8-way set
+//! — instead of chasing a per-set `Vec` allocation, and per-domain way
+//! partitions resolve through a dense [`PartitionTable`] rather than a
+//! `HashMap`.  `repro bench-sim` tracks the resulting accesses/sec.
 //!
 //! The interface is deliberately attacker-visible: experiments can ask how
 //! many dirty lines a set currently holds, lock lines (PLcache defense) or
@@ -11,19 +22,19 @@
 
 use crate::addr::{CacheGeometry, LineAddr, PhysAddr};
 use crate::config::{CacheConfig, WritePolicy};
-use crate::line::DomainId;
-use crate::policy::ReplacementPolicy;
-use crate::set::CacheSet;
+use crate::line::{CacheLine, DomainId};
+use crate::policy::PolicyDispatch;
+use crate::set::SetView;
 use crate::stats::CacheStats;
-use crate::waymask::WayMask;
-use std::collections::HashMap;
+use crate::waymask::{PartitionTable, WayMask};
 use std::fmt;
 
 /// Per-access context: which protection domain issued the access.
 ///
 /// Domains feed two mechanisms: way partitioning (a domain may only fill
 /// into its allotted ways) and ownership attribution used by the perf model
-/// and the DAWG defense.
+/// and the DAWG defense.  The domain's way mask is resolved once per access
+/// through the cache's dense [`PartitionTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct AccessContext {
     /// The issuing protection/attribution domain.
@@ -73,12 +84,19 @@ impl FillOutcome {
 /// One level of the cache hierarchy.
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<CacheSet>,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Ways per set, denormalised from the geometry for the hot path.
+    ways: usize,
+    /// The flat tag-store arena: line `(set, way)` at `set * ways + way`.
+    lines: Box<[CacheLine]>,
+    policy: PolicyDispatch,
     stats: CacheStats,
-    /// Optional per-domain way restriction (NoMo / DAWG).  Domains without an
-    /// entry may use every way.
-    partitions: HashMap<DomainId, WayMask>,
+    /// Per-domain way restriction (NoMo / DAWG), dense by domain id.
+    partitions: PartitionTable,
+    /// Precomputed mask of every way of this cache.
+    all_ways: WayMask,
+    /// Whether any line is currently locked (fast path skips the locked-mask
+    /// scan when nothing was ever locked).
+    has_locks: bool,
 }
 
 impl fmt::Debug for Cache {
@@ -102,15 +120,23 @@ impl Cache {
     /// non-power-of-two associativity).
     pub fn new(config: CacheConfig, seed: u64) -> crate::Result<Cache> {
         let geometry = config.geometry;
-        let policy = config
-            .replacement
-            .build(geometry.num_sets, geometry.associativity, seed)?;
+        let policy = PolicyDispatch::build(
+            config.replacement,
+            geometry.num_sets,
+            geometry.associativity,
+            seed,
+        )?;
+        let all_ways = WayMask::all(geometry.associativity);
         Ok(Cache {
             config,
-            sets: vec![CacheSet::new(geometry.associativity); geometry.num_sets],
+            ways: geometry.associativity,
+            lines: vec![CacheLine::invalid(); geometry.num_sets * geometry.associativity]
+                .into_boxed_slice(),
             policy,
             stats: CacheStats::default(),
-            partitions: HashMap::new(),
+            partitions: PartitionTable::new(all_ways),
+            all_ways,
+            has_locks: false,
         })
     }
 
@@ -145,11 +171,11 @@ impl Cache {
     ///
     /// Returns [`crate::Error::EmptyWayMask`] if the mask enables no way.
     pub fn set_partition(&mut self, domain: DomainId, mask: WayMask) -> crate::Result<()> {
-        let mask = mask.and(WayMask::all(self.geometry().associativity));
+        let mask = mask.and(self.all_ways);
         if mask.is_empty() {
             return Err(crate::Error::EmptyWayMask);
         }
-        self.partitions.insert(domain, mask);
+        self.partitions.set(domain, mask);
         Ok(())
     }
 
@@ -160,29 +186,51 @@ impl Cache {
 
     /// The way mask `domain` is allowed to use.
     pub fn partition_of(&self, domain: DomainId) -> WayMask {
-        self.partitions
-            .get(&domain)
-            .copied()
-            .unwrap_or_else(|| WayMask::all(self.geometry().associativity))
+        self.partitions.resolve(domain)
     }
 
+    #[inline]
     fn set_and_tag(&self, addr: PhysAddr) -> (usize, u64) {
-        let g = self.geometry();
+        let g = self.config.geometry;
         (g.set_index(addr), g.tag(addr))
+    }
+
+    /// The arena slice holding `set`.
+    #[inline]
+    fn set_lines(&self, set: usize) -> &[CacheLine] {
+        &self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Finds the way of `set` holding `tag`, if resident — the tag-match
+    /// loop on the access hot path.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        self.set_lines(set)
+            .iter()
+            .position(|line| line.matches(tag))
+    }
+
+    #[inline]
+    fn line(&self, set: usize, way: usize) -> &CacheLine {
+        &self.lines[set * self.ways + way]
+    }
+
+    #[inline]
+    fn line_mut(&mut self, set: usize, way: usize) -> &mut CacheLine {
+        &mut self.lines[set * self.ways + way]
     }
 
     /// Whether the line containing `addr` is resident (no state change).
     pub fn contains(&self, addr: PhysAddr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].find(tag).is_some()
+        self.find(set, tag).is_some()
     }
 
     /// Whether the line containing `addr` is resident *and dirty*.
     pub fn is_dirty(&self, addr: PhysAddr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set]
-            .find(tag)
-            .map(|way| self.sets[set].line(way).is_dirty())
+        self.find(set, tag)
+            .map(|way| self.line(set, way).is_dirty())
             .unwrap_or(false)
     }
 
@@ -191,26 +239,26 @@ impl Cache {
     /// This is the quantity the WB sender controls; exposing it lets tests
     /// and experiments verify the encoding without going through timing.
     pub fn dirty_count_in_set(&self, set: usize) -> usize {
-        self.sets[set].dirty_count()
+        self.set(set).dirty_count()
     }
 
     /// Number of valid lines currently in `set`.
     pub fn valid_count_in_set(&self, set: usize) -> usize {
-        self.sets[set].valid_count()
+        self.set(set).valid_count()
     }
 
     /// Number of valid lines in `set` owned by `domain`.
     pub fn owned_count_in_set(&self, set: usize, domain: DomainId) -> usize {
-        self.sets[set].owned_count(domain)
+        self.set(set).owned_count(domain)
     }
 
-    /// Shared access to a set (for experiment introspection).
+    /// Shared view of a set (for experiment introspection).
     ///
     /// # Panics
     ///
     /// Panics if `set` is out of range.
-    pub fn set(&self, set: usize) -> &CacheSet {
-        &self.sets[set]
+    pub fn set(&self, set: usize) -> SetView<'_> {
+        SetView::new(self.set_lines(set))
     }
 
     /// Looks up `addr` for a load.  On a hit the policy is refreshed and the
@@ -218,7 +266,7 @@ impl Cache {
     /// decides whether to [`Cache::fill`]).
     pub fn lookup_read(&mut self, addr: PhysAddr, _ctx: AccessContext) -> Option<usize> {
         let (set, tag) = self.set_and_tag(addr);
-        match self.sets[set].find(tag) {
+        match self.find(set, tag) {
             Some(way) => {
                 self.policy.on_hit(set, way);
                 self.stats.read_hits += 1;
@@ -237,11 +285,11 @@ impl Cache {
     /// store to the next level).
     pub fn lookup_write(&mut self, addr: PhysAddr, _ctx: AccessContext) -> Option<usize> {
         let (set, tag) = self.set_and_tag(addr);
-        match self.sets[set].find(tag) {
+        match self.find(set, tag) {
             Some(way) => {
                 self.policy.on_hit(set, way);
                 if self.config.write_policy == WritePolicy::WriteBack {
-                    self.sets[set].line_mut(way).mark_dirty();
+                    self.line_mut(set, way).mark_dirty();
                 }
                 self.stats.write_hits += 1;
                 Some(way)
@@ -271,10 +319,10 @@ impl Cache {
     ) -> FillOutcome {
         let (set, tag) = self.set_and_tag(addr);
         // Already resident (can happen with racing prefetches): refresh only.
-        if let Some(way) = self.sets[set].find(tag) {
+        if let Some(way) = self.find(set, tag) {
             self.policy.on_hit(set, way);
             if dirty && self.config.write_policy == WritePolicy::WriteBack {
-                self.sets[set].line_mut(way).mark_dirty();
+                self.line_mut(set, way).mark_dirty();
             }
             return FillOutcome {
                 filled: true,
@@ -282,16 +330,36 @@ impl Cache {
                 evicted: None,
             };
         }
+        self.fill_missing(addr, ctx, dirty, prefetch)
+    }
 
-        let allowed = self
-            .partition_of(ctx.domain)
-            .and(WayMask::all(self.geometry().associativity));
-        let candidates = allowed.and(
-            // Locked lines can never be victims (PLcache).
-            WayMask::from_bits(!self.sets[set].locked_mask().bits()),
+    /// As [`Cache::fill`], but the caller guarantees the line is **not**
+    /// resident — a lookup on this level just missed and nothing has filled
+    /// the level since.  Skips the redundant residency scan the plain `fill`
+    /// performs, which halves the tag-match work on the demand-miss path.
+    pub(crate) fn fill_missing(
+        &mut self,
+        addr: PhysAddr,
+        ctx: AccessContext,
+        dirty: bool,
+        prefetch: bool,
+    ) -> FillOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        debug_assert!(
+            self.find(set, tag).is_none(),
+            "fill_missing caller must have observed a miss"
         );
 
-        let way = if let Some(invalid) = self.sets[set].first_invalid_way(allowed) {
+        // The domain's allotment is a dense-array load; the locked-way scan
+        // only runs while at least one line is actually locked (PLcache).
+        let allowed = self.partitions.resolve(ctx.domain);
+        let candidates = if self.has_locks {
+            allowed.and(WayMask::from_bits(!self.set(set).locked_mask().bits()))
+        } else {
+            allowed
+        };
+
+        let way = if let Some(invalid) = self.set(set).first_invalid_way(allowed) {
             Some(invalid)
         } else {
             self.policy.choose_victim(set, candidates)
@@ -300,10 +368,10 @@ impl Cache {
             return FillOutcome::bypassed();
         };
 
-        let victim = self.sets[set].line(way);
+        let victim = *self.line(set, way);
         let evicted = if victim.is_valid() {
             let line = EvictedLine {
-                addr: self.geometry().line_addr(set, victim.tag()),
+                addr: self.config.geometry.line_addr(set, victim.tag()),
                 dirty: victim.is_dirty(),
                 owner: victim.owner(),
             };
@@ -317,9 +385,7 @@ impl Cache {
         };
 
         let store_dirty = dirty && self.config.write_policy == WritePolicy::WriteBack;
-        self.sets[set]
-            .line_mut(way)
-            .fill(tag, store_dirty, ctx.domain);
+        self.line_mut(set, way).fill(tag, store_dirty, ctx.domain);
         self.policy.on_fill(set, way);
         self.stats.fills += 1;
         if prefetch {
@@ -333,20 +399,29 @@ impl Cache {
         }
     }
 
+    /// Installs every line of `addrs`, in order, discarding the per-fill
+    /// outcomes (the batch counterpart of [`Cache::fill`], used by the
+    /// eviction experiments' warm loops).
+    pub fn fill_all(&mut self, addrs: &[PhysAddr], ctx: AccessContext, dirty: bool) {
+        for &addr in addrs {
+            let _ = self.fill(addr, ctx, dirty, false);
+        }
+    }
+
     /// Receives a dirty write-back from the level above.
     ///
     /// If the line is resident it is simply marked dirty; otherwise it is
     /// installed dirty.  Returns any line evicted to make room.
     pub fn accept_writeback(&mut self, addr: PhysAddr, ctx: AccessContext) -> Option<EvictedLine> {
         let (set, tag) = self.set_and_tag(addr);
-        if let Some(way) = self.sets[set].find(tag) {
+        if let Some(way) = self.find(set, tag) {
             if self.config.write_policy == WritePolicy::WriteBack {
-                self.sets[set].line_mut(way).mark_dirty();
+                self.line_mut(set, way).mark_dirty();
             }
             self.policy.on_hit(set, way);
             return None;
         }
-        let outcome = self.fill(addr, ctx, true, false);
+        let outcome = self.fill_missing(addr, ctx, true, false);
         outcome.evicted
     }
 
@@ -354,8 +429,8 @@ impl Cache {
     /// `Some(was_dirty)` if it was resident.
     pub fn invalidate(&mut self, addr: PhysAddr) -> Option<bool> {
         let (set, tag) = self.set_and_tag(addr);
-        let way = self.sets[set].find(tag)?;
-        let was_dirty = self.sets[set].line_mut(way).invalidate();
+        let way = self.find(set, tag)?;
+        let was_dirty = self.line_mut(set, way).invalidate();
         self.policy.on_invalidate(set, way);
         self.stats.flushes += 1;
         if was_dirty {
@@ -368,8 +443,9 @@ impl Cache {
     /// Returns `true` if the line was resident and is now locked.
     pub fn lock_line(&mut self, addr: PhysAddr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        if let Some(way) = self.sets[set].find(tag) {
-            self.sets[set].line_mut(way).set_locked(true);
+        if let Some(way) = self.find(set, tag) {
+            self.line_mut(set, way).set_locked(true);
+            self.has_locks = true;
             true
         } else {
             false
@@ -378,10 +454,13 @@ impl Cache {
 
     /// Unlocks the resident line containing `addr`.  Returns `true` if the
     /// line was resident.
+    ///
+    /// The lock fast-path flag stays set until [`Cache::clear`]; unlocking
+    /// one line does not prove no other line is locked.
     pub fn unlock_line(&mut self, addr: PhysAddr) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        if let Some(way) = self.sets[set].find(tag) {
-            self.sets[set].line_mut(way).set_locked(false);
+        if let Some(way) = self.find(set, tag) {
+            self.line_mut(set, way).set_locked(false);
             true
         } else {
             false
@@ -393,10 +472,13 @@ impl Cache {
     /// setup and defense resets).
     pub fn clear(&mut self) -> usize {
         let mut dirty = 0;
-        for set in &mut self.sets {
-            dirty += set.clear();
+        for line in self.lines.iter_mut() {
+            if line.invalidate() {
+                dirty += 1;
+            }
         }
         self.policy.reset();
+        self.has_locks = false;
         dirty
     }
 }
@@ -477,6 +559,23 @@ mod tests {
         assert!(evicted.dirty);
         assert_eq!(cache.stats().writebacks, 1);
         assert_eq!(cache.dirty_count_in_set(set), 0);
+    }
+
+    #[test]
+    fn fill_all_installs_every_line_in_order() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::for_domain(2);
+        let set = 4;
+        let addrs: Vec<PhysAddr> = (0..8).map(|t| addr(set, t)).collect();
+        cache.fill_all(&addrs, ctx, true);
+        assert_eq!(cache.dirty_count_in_set(set), 8);
+        assert_eq!(cache.stats().fills, 8);
+        // Identical to eight single fills: the LRU victim is tag 0.
+        let outcome = cache.fill(addr(set, 100), ctx, false, false);
+        assert_eq!(
+            outcome.evicted.expect("eviction").addr,
+            cache.geometry().line_addr(set, 0)
+        );
     }
 
     #[test]
@@ -578,6 +677,20 @@ mod tests {
         assert!(again.evicted.is_none());
         assert!(cache.is_dirty(a), "dirty refill upgrades the line");
         assert_eq!(cache.stats().fills, 1, "second fill is a no-op refresh");
+    }
+
+    #[test]
+    fn set_view_exposes_the_arena_contents() {
+        let mut cache = l1(PolicyKind::TrueLru);
+        let ctx = AccessContext::for_domain(3);
+        cache.fill(addr(6, 40), ctx, true, false);
+        cache.fill(addr(6, 41), ctx, false, false);
+        let view = cache.set(6);
+        assert_eq!(view.ways(), 8);
+        assert_eq!(view.valid_count(), 2);
+        assert_eq!(view.dirty_count(), 1);
+        assert_eq!(view.resident_tags(), vec![40, 41]);
+        assert_eq!(view.owned_count(3), 2);
     }
 
     #[test]

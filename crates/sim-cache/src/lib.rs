@@ -66,8 +66,10 @@ pub mod line;
 pub mod outcome;
 pub mod policy;
 pub mod prefetch;
+pub mod seed;
 pub mod set;
 pub mod stats;
+pub mod trace;
 pub mod waymask;
 
 mod error;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use crate::outcome::{AccessKind, AccessOutcome, HitLevel};
     pub use crate::policy::PolicyKind;
     pub use crate::stats::{CacheStats, HierarchyStats};
+    pub use crate::trace::{TraceKind, TraceOp, TraceSummary};
     pub use crate::waymask::WayMask;
 }
 

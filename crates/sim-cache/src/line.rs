@@ -1,9 +1,16 @@
-//! Cache-line state.
+//! Cache-line state, packed for the arena tag store.
 //!
-//! Each way of a set holds a [`CacheLine`]: a valid bit, the tag, the **dirty
-//! bit** that the WB channel abuses, an optional lock bit (PLcache defense)
-//! and the identifier of the protection domain that installed the line
-//! (DAWG defense, perf attribution).
+//! Each way of a set holds a [`CacheLine`]: the tag plus a one-byte flag
+//! word carrying the valid bit, the **dirty bit** that the WB channel
+//! abuses, an optional lock bit (PLcache defense) and the identifier of the
+//! protection domain that installed the line (DAWG defense, perf
+//! attribution).
+//!
+//! The representation is deliberately flat — a `u64` tag, a `u8` flag word
+//! and a `u16` owner — so that [`crate::cache::Cache`] can keep **all** lines
+//! of a level in one contiguous arena (`Box<[CacheLine]>`, indexed by
+//! `set * ways + way`) and the tag-match loop on the access hot path walks
+//! adjacent memory instead of chasing per-set `Vec` allocations.
 
 /// The protection/attribution domain a line belongs to.
 ///
@@ -13,18 +20,21 @@
 /// visibility.
 pub type DomainId = u16;
 
-/// State of one cache line (one way of one set).
+/// Flag bit: the way holds a valid line.
+const VALID: u8 = 1 << 0;
+/// Flag bit: the line was modified and must be written back on eviction.
+const DIRTY: u8 = 1 << 1;
+/// Flag bit: the line may not be selected as a victim (PLcache).
+const LOCKED: u8 = 1 << 2;
+
+/// State of one cache line (one way of one set), packed into 16 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheLine {
-    /// Whether the way currently holds a valid line.
-    valid: bool,
-    /// Tag of the held line (meaningful only when `valid`).
+    /// Tag of the held line (meaningful only when the valid flag is set).
     tag: u64,
-    /// Dirty bit: the line was modified and must be written back on eviction.
-    dirty: bool,
-    /// Lock bit: a locked line may not be selected as a victim (PLcache).
-    locked: bool,
+    /// Packed valid/dirty/locked flags.
+    flags: u8,
     /// Domain that installed the line.
     owner: DomainId,
 }
@@ -33,10 +43,8 @@ impl CacheLine {
     /// An invalid (empty) way.
     pub fn invalid() -> CacheLine {
         CacheLine {
-            valid: false,
             tag: 0,
-            dirty: false,
-            locked: false,
+            flags: 0,
             owner: 0,
         }
     }
@@ -46,41 +54,43 @@ impl CacheLine {
     /// The dirty bit of the new line is `dirty` (true when the fill is caused
     /// by a write-allocate store miss).
     pub fn fill(&mut self, tag: u64, dirty: bool, owner: DomainId) {
-        self.valid = true;
         self.tag = tag;
-        self.dirty = dirty;
-        self.locked = false;
+        self.flags = VALID | if dirty { DIRTY } else { 0 };
         self.owner = owner;
     }
 
     /// Invalidates the way (e.g. `clflush`), returning whether the line was
     /// dirty so the caller can model the write-back.
     pub fn invalidate(&mut self) -> bool {
-        let was_dirty = self.valid && self.dirty;
-        self.valid = false;
-        self.dirty = false;
-        self.locked = false;
+        let was_dirty = self.flags & (VALID | DIRTY) == VALID | DIRTY;
+        self.flags = 0;
         was_dirty
     }
 
     /// Whether the way holds a valid line.
     pub fn is_valid(self) -> bool {
-        self.valid
+        self.flags & VALID != 0
     }
 
     /// Whether the line is dirty (valid and modified).
     pub fn is_dirty(self) -> bool {
-        self.valid && self.dirty
+        self.flags & (VALID | DIRTY) == VALID | DIRTY
     }
 
     /// Whether the line is locked against eviction.
     pub fn is_locked(self) -> bool {
-        self.valid && self.locked
+        self.flags & (VALID | LOCKED) == VALID | LOCKED
     }
 
     /// The stored tag.  Only meaningful when [`CacheLine::is_valid`] is true.
     pub fn tag(self) -> u64 {
         self.tag
+    }
+
+    /// Whether the way holds a valid line with the given tag — the arena's
+    /// branchless tag-match primitive.
+    pub fn matches(self, tag: u64) -> bool {
+        self.flags & VALID != 0 && self.tag == tag
     }
 
     /// The domain that installed the line.
@@ -95,19 +105,23 @@ impl CacheLine {
     /// Panics in debug builds if the line is invalid: the cache controller
     /// must never mark an empty way dirty.
     pub fn mark_dirty(&mut self) {
-        debug_assert!(self.valid, "cannot mark an invalid line dirty");
-        self.dirty = true;
+        debug_assert!(self.is_valid(), "cannot mark an invalid line dirty");
+        self.flags |= DIRTY;
     }
 
     /// Clears the dirty bit (after a write-back or under write-through).
     pub fn clear_dirty(&mut self) {
-        self.dirty = false;
+        self.flags &= !DIRTY;
     }
 
     /// Sets or clears the lock bit (PLcache).
     pub fn set_locked(&mut self, locked: bool) {
-        if self.valid {
-            self.locked = locked;
+        if self.is_valid() {
+            if locked {
+                self.flags |= LOCKED;
+            } else {
+                self.flags &= !LOCKED;
+            }
         }
     }
 }
@@ -128,6 +142,14 @@ mod tests {
         assert!(!line.is_valid());
         assert!(!line.is_dirty());
         assert!(!line.is_locked());
+        assert!(!line.matches(0), "an invalid way matches no tag");
+    }
+
+    #[test]
+    fn packed_line_is_sixteen_bytes() {
+        // The whole point of the packing: a 64-set x 8-way L1 arena is
+        // 8 KiB of contiguous memory.
+        assert!(std::mem::size_of::<CacheLine>() <= 16);
     }
 
     #[test]
@@ -138,6 +160,8 @@ mod tests {
         assert!(line.is_dirty());
         assert_eq!(line.tag(), 0xdead);
         assert_eq!(line.owner(), 3);
+        assert!(line.matches(0xdead));
+        assert!(!line.matches(0xbeef));
     }
 
     #[test]

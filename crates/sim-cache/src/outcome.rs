@@ -96,7 +96,14 @@ pub struct AccessOutcome {
     /// This is the micro-architectural event whose latency footprint the WB
     /// channel measures.
     pub l1_victim_dirty: bool,
-    /// Total number of dirty write-backs performed across all levels.
+    /// Total number of dirty write-backs this access performed across **all**
+    /// levels of the hierarchy: a dirty L1 victim pushed into the L2, a dirty
+    /// L2 victim spilled into the LLC, a dirty LLC victim written to memory,
+    /// and (for flushes) one per level that held a dirty copy.  Every path —
+    /// demand miss, no-allocate store, random-fill, prefetch, flush — counts
+    /// with the same convention; the per-level split is available in
+    /// [`crate::stats::HierarchyStats`] (`l1_writebacks` / `l2_writebacks` /
+    /// `llc_writebacks`).
     pub writebacks: u32,
 }
 

@@ -161,6 +161,118 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// The policy dispatcher a [`crate::cache::Cache`] holds.
+///
+/// The policies on the WB-channel hot path (Tree-PLRU and its Intel-like
+/// perturbation, true LRU, pseudo-random) get static enum dispatch so the
+/// per-access `on_hit`/`choose_victim` calls inline into the cache's access
+/// path; the ablation-only policies stay behind the object-safe trait.  The
+/// behaviour is identical either way — this is purely a devirtualisation of
+/// the hot calls.
+#[derive(Debug)]
+pub(crate) enum PolicyDispatch {
+    /// Statically dispatched Tree-PLRU.
+    TreePlru(TreePlru),
+    /// Statically dispatched true LRU.
+    TrueLru(TrueLru),
+    /// Statically dispatched pseudo-random (LFSR).
+    Random(PseudoRandom),
+    /// Statically dispatched Intel-like imperfect PLRU.
+    IntelLike(IntelLike),
+    /// Everything else (FIFO, NRU, SRRIP) through the trait object.
+    Boxed(Box<dyn ReplacementPolicy>),
+}
+
+impl PolicyDispatch {
+    /// Instantiates the dispatcher for `kind`.
+    pub(crate) fn build(
+        kind: PolicyKind,
+        num_sets: usize,
+        ways: usize,
+        seed: u64,
+    ) -> crate::Result<PolicyDispatch> {
+        Ok(match kind {
+            PolicyKind::TreePlru => PolicyDispatch::TreePlru(TreePlru::new(num_sets, ways)?),
+            PolicyKind::TrueLru => PolicyDispatch::TrueLru(TrueLru::new(num_sets, ways)),
+            PolicyKind::Random => PolicyDispatch::Random(PseudoRandom::new(num_sets, ways, seed)),
+            PolicyKind::IntelLike => {
+                PolicyDispatch::IntelLike(IntelLike::new(num_sets, ways, seed)?)
+            }
+            other => PolicyDispatch::Boxed(other.build(num_sets, ways, seed)?),
+        })
+    }
+
+    /// Short, human-readable policy name used in result tables.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.name(),
+            PolicyDispatch::TrueLru(p) => p.name(),
+            PolicyDispatch::Random(p) => p.name(),
+            PolicyDispatch::IntelLike(p) => p.name(),
+            PolicyDispatch::Boxed(p) => p.name(),
+        }
+    }
+
+    /// Records a hit on `way` of `set`.
+    #[inline]
+    pub(crate) fn on_hit(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.on_hit(set, way),
+            PolicyDispatch::TrueLru(p) => p.on_hit(set, way),
+            PolicyDispatch::Random(p) => p.on_hit(set, way),
+            PolicyDispatch::IntelLike(p) => p.on_hit(set, way),
+            PolicyDispatch::Boxed(p) => p.on_hit(set, way),
+        }
+    }
+
+    /// Records that a new line has just been installed in `way` of `set`.
+    #[inline]
+    pub(crate) fn on_fill(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.on_fill(set, way),
+            PolicyDispatch::TrueLru(p) => p.on_fill(set, way),
+            PolicyDispatch::Random(p) => p.on_fill(set, way),
+            PolicyDispatch::IntelLike(p) => p.on_fill(set, way),
+            PolicyDispatch::Boxed(p) => p.on_fill(set, way),
+        }
+    }
+
+    /// Records that `way` of `set` was invalidated.
+    #[inline]
+    pub(crate) fn on_invalidate(&mut self, set: usize, way: usize) {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.on_invalidate(set, way),
+            PolicyDispatch::TrueLru(p) => p.on_invalidate(set, way),
+            PolicyDispatch::Random(p) => p.on_invalidate(set, way),
+            PolicyDispatch::IntelLike(p) => p.on_invalidate(set, way),
+            PolicyDispatch::Boxed(p) => p.on_invalidate(set, way),
+        }
+    }
+
+    /// Chooses a victim way within `set`, restricted to `candidates`.
+    #[inline]
+    pub(crate) fn choose_victim(&mut self, set: usize, candidates: WayMask) -> Option<usize> {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.choose_victim(set, candidates),
+            PolicyDispatch::TrueLru(p) => p.choose_victim(set, candidates),
+            PolicyDispatch::Random(p) => p.choose_victim(set, candidates),
+            PolicyDispatch::IntelLike(p) => p.choose_victim(set, candidates),
+            PolicyDispatch::Boxed(p) => p.choose_victim(set, candidates),
+        }
+    }
+
+    /// Resets all metadata to the post-power-on state.
+    pub(crate) fn reset(&mut self) {
+        match self {
+            PolicyDispatch::TreePlru(p) => p.reset(),
+            PolicyDispatch::TrueLru(p) => p.reset(),
+            PolicyDispatch::Random(p) => p.reset(),
+            PolicyDispatch::IntelLike(p) => p.reset(),
+            PolicyDispatch::Boxed(p) => p.reset(),
+        }
+    }
+}
+
 /// A tiny deterministic PRNG (xorshift64*) used inside policies.
 ///
 /// Policies cannot use thread-local entropy: experiments must be exactly

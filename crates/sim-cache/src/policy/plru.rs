@@ -11,6 +11,14 @@ use crate::waymask::WayMask;
 /// the bits from the root.  This needs only `W - 1` bits per set, which is
 /// why commercial cores prefer it over true LRU (Sec. IV-A of the paper).
 ///
+/// The `W - 1` direction bits of one set are packed into a single `u64`
+/// word (node `i` ↔ bit `i`; node 0 = root, children of node `i` are
+/// `2i+1` / `2i+2`), and because the tree path of way `w` is fixed, the
+/// whole touch operation collapses to `word = (word & clear[w]) | point[w]`
+/// with masks precomputed at construction — one load and one store on the
+/// access hot path, where the previous per-node `Vec<bool>` walk paid a
+/// dependent read-modify-write per tree level.
+///
 /// Victim selection honours the candidate mask by deviating from the
 /// indicated direction whenever the preferred subtree contains no candidate
 /// ways — the same behaviour a hardware implementation with way-disable
@@ -18,10 +26,12 @@ use crate::waymask::WayMask;
 #[derive(Debug, Clone)]
 pub struct TreePlru {
     ways: usize,
-    /// `ways - 1` direction bits per set, stored as a flat heap
-    /// (node 0 = root, children of node i are 2i+1 / 2i+2).
-    /// `true` means "the LRU side is the right subtree".
-    bits: Vec<bool>,
+    /// One direction word per set.  Bit `i` set means "the LRU side of node
+    /// `i` is the right subtree".
+    words: Vec<u64>,
+    /// Per-way precomputed touch masks: `(clear, point)` such that touching
+    /// way `w` is `word = (word & clear[w]) | point[w]`.
+    touch_masks: Vec<(u64, u64)>,
 }
 
 impl TreePlru {
@@ -30,38 +40,48 @@ impl TreePlru {
     /// # Errors
     ///
     /// Returns [`crate::Error::UnsupportedAssociativity`] unless `ways` is a
-    /// power of two greater than one (the tree needs a complete binary shape).
+    /// power of two greater than one with at most 64 ways (the tree needs a
+    /// complete binary shape and the direction word 63 bits at most).
     pub fn new(num_sets: usize, ways: usize) -> crate::Result<TreePlru> {
-        if ways < 2 || !ways.is_power_of_two() {
+        if !(2..=64).contains(&ways) || !ways.is_power_of_two() {
             return Err(crate::Error::UnsupportedAssociativity {
                 policy: "TreePlru",
                 ways,
             });
         }
+        let levels = ways.trailing_zeros();
+        let touch_masks = (0..ways)
+            .map(|way| {
+                // Walk the fixed root-to-leaf path of `way` once, recording
+                // which node bits the touch rewrites and their new values.
+                let mut clear = u64::MAX;
+                let mut point = 0u64;
+                let mut node = 0usize;
+                for level in (0..levels).rev() {
+                    let go_right = (way >> level) & 1 == 1;
+                    clear &= !(1u64 << node);
+                    // Point the bit at the *other* half: the one not touched.
+                    if !go_right {
+                        point |= 1u64 << node;
+                    }
+                    node = 2 * node + 1 + usize::from(go_right);
+                }
+                (clear, point)
+            })
+            .collect();
         Ok(TreePlru {
             ways,
-            bits: vec![false; num_sets * (ways - 1)],
+            words: vec![0; num_sets],
+            touch_masks,
         })
     }
 
-    fn nodes_per_set(&self) -> usize {
-        self.ways - 1
-    }
-
-    fn levels(&self) -> u32 {
-        self.ways.trailing_zeros()
-    }
-
     /// Flips the path bits so they point away from `way` (way becomes MRU).
+    #[inline]
     fn touch(&mut self, set: usize, way: usize) {
-        let base = set * self.nodes_per_set();
-        let mut node = 0usize;
-        for level in (0..self.levels()).rev() {
-            let go_right = (way >> level) & 1 == 1;
-            // Point the bit at the *other* half: the one we did not touch.
-            self.bits[base + node] = !go_right;
-            node = 2 * node + 1 + usize::from(go_right);
-        }
+        let (clear, point) = self.touch_masks[way];
+        let word = &mut self.words[set];
+        *word = (*word & clear) | point;
     }
 
     /// Follows the direction bits from the root, deviating only when the
@@ -71,13 +91,13 @@ impl TreePlru {
         if candidates.is_empty() {
             return None;
         }
-        let base = set * self.nodes_per_set();
+        let word = self.words[set];
         let mut node = 0usize;
         let mut lo = 0usize;
         let mut hi = self.ways; // half-open range of ways below this node
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
-            let prefer_right = self.bits[base + node];
+            let prefer_right = (word >> node) & 1 == 1;
             let left_has = (lo..mid).any(|w| candidates.contains(w));
             let right_has = (mid..hi).any(|w| candidates.contains(w));
             let go_right = match (prefer_right, left_has, right_has) {
@@ -107,10 +127,13 @@ impl TreePlru {
     /// Overwrites the raw direction bits of one set (used to randomise the
     /// initial state in the Intel-like policy and in Table II experiments).
     pub fn set_raw_bits(&mut self, set: usize, raw: u64) {
-        let base = set * self.nodes_per_set();
-        for i in 0..self.nodes_per_set() {
-            self.bits[base + i] = (raw >> i) & 1 == 1;
-        }
+        let nodes = self.ways - 1;
+        let mask = if nodes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << nodes) - 1
+        };
+        self.words[set] = raw & mask;
     }
 }
 
@@ -138,7 +161,7 @@ impl ReplacementPolicy for TreePlru {
     }
 
     fn reset(&mut self) {
-        self.bits.fill(false);
+        self.words.fill(0);
     }
 }
 

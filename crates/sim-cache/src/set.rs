@@ -1,26 +1,27 @@
-//! Cache-set storage.
+//! Cache-set introspection views.
 //!
-//! A [`CacheSet`] is the tag store for one set: `W` [`CacheLine`]s plus the
-//! small amount of bookkeeping the WB-channel experiments need to introspect
-//! (dirty-line counts, resident tags).  All replacement decisions live in
-//! [`crate::policy`]; the set is purely storage.
+//! The tag store lives in one flat arena per cache level
+//! (`Box<[CacheLine]>` indexed by `set * ways + way`, see
+//! [`crate::cache::Cache`]); a [`SetView`] borrows the `ways`-long slice of
+//! one set and provides the bookkeeping the WB-channel experiments need to
+//! introspect (dirty-line counts, resident tags, lock masks).  All
+//! replacement decisions live in [`crate::policy`]; the view is purely
+//! read-only storage access.
 
 use crate::line::{CacheLine, DomainId};
 use crate::waymask::WayMask;
 
-/// One set of a set-associative cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-pub struct CacheSet {
-    lines: Vec<CacheLine>,
+/// A shared view of one set of a set-associative cache: the `W` adjacent
+/// [`CacheLine`]s of the level's arena.
+#[derive(Debug, Clone, Copy)]
+pub struct SetView<'a> {
+    lines: &'a [CacheLine],
 }
 
-impl CacheSet {
-    /// Creates an empty set with `ways` ways.
-    pub fn new(ways: usize) -> CacheSet {
-        CacheSet {
-            lines: vec![CacheLine::invalid(); ways],
-        }
+impl<'a> SetView<'a> {
+    /// Wraps the lines of one set (callers pass exactly `ways` lines).
+    pub fn new(lines: &'a [CacheLine]) -> SetView<'a> {
+        SetView { lines }
     }
 
     /// Number of ways.
@@ -30,9 +31,7 @@ impl CacheSet {
 
     /// Finds the way holding `tag`, if resident.
     pub fn find(&self, tag: u64) -> Option<usize> {
-        self.lines
-            .iter()
-            .position(|line| line.is_valid() && line.tag() == tag)
+        self.lines.iter().position(|line| line.matches(tag))
     }
 
     /// Returns the first invalid way, if any (fills prefer empty ways before
@@ -51,15 +50,6 @@ impl CacheSet {
     /// Panics if `way` is out of range.
     pub fn line(&self, way: usize) -> &CacheLine {
         &self.lines[way]
-    }
-
-    /// Exclusive access to a way.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `way` is out of range.
-    pub fn line_mut(&mut self, way: usize) -> &mut CacheLine {
-        &mut self.lines[way]
     }
 
     /// Number of valid lines in the set.
@@ -111,26 +101,20 @@ impl CacheSet {
     pub fn iter(&self) -> impl Iterator<Item = (usize, &CacheLine)> {
         self.lines.iter().enumerate()
     }
-
-    /// Invalidates every line, returning how many were dirty.
-    pub fn clear(&mut self) -> usize {
-        let mut dirty = 0;
-        for line in &mut self.lines {
-            if line.invalidate() {
-                dirty += 1;
-            }
-        }
-        dirty
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn empty(ways: usize) -> Vec<CacheLine> {
+        vec![CacheLine::invalid(); ways]
+    }
+
     #[test]
     fn new_set_is_empty() {
-        let set = CacheSet::new(8);
+        let lines = empty(8);
+        let set = SetView::new(&lines);
         assert_eq!(set.ways(), 8);
         assert_eq!(set.valid_count(), 0);
         assert_eq!(set.dirty_count(), 0);
@@ -140,9 +124,10 @@ mod tests {
 
     #[test]
     fn find_locates_resident_tags() {
-        let mut set = CacheSet::new(4);
-        set.line_mut(2).fill(0xaa, false, 1);
-        set.line_mut(3).fill(0xbb, true, 2);
+        let mut lines = empty(4);
+        lines[2].fill(0xaa, false, 1);
+        lines[3].fill(0xbb, true, 2);
+        let set = SetView::new(&lines);
         assert_eq!(set.find(0xaa), Some(2));
         assert_eq!(set.find(0xbb), Some(3));
         assert_eq!(set.find(0xcc), None);
@@ -152,39 +137,38 @@ mod tests {
         assert_eq!(set.owned_count(2), 1);
         assert_eq!(set.owned_count(3), 0);
         assert_eq!(set.resident_tags(), vec![0xaa, 0xbb]);
+        assert_eq!(set.line(2).tag(), 0xaa);
+        assert_eq!(set.iter().count(), 4);
     }
 
     #[test]
     fn first_invalid_way_respects_mask() {
-        let mut set = CacheSet::new(4);
-        set.line_mut(0).fill(1, false, 0);
+        let mut lines = empty(4);
+        lines[0].fill(1, false, 0);
         // Way 1 is invalid but excluded by the mask; way 3 is the answer.
         let mask = WayMask::EMPTY.with(0).with(3);
-        assert_eq!(set.first_invalid_way(mask), Some(3));
-        set.line_mut(3).fill(2, false, 0);
-        assert_eq!(set.first_invalid_way(mask), None);
+        assert_eq!(SetView::new(&lines).first_invalid_way(mask), Some(3));
+        lines[3].fill(2, false, 0);
+        assert_eq!(SetView::new(&lines).first_invalid_way(mask), None);
     }
 
     #[test]
     fn dirty_count_tracks_the_wb_symbol() {
-        let mut set = CacheSet::new(8);
+        let mut lines = empty(8);
         for d in 0..8 {
-            set.line_mut(d).fill(d as u64, true, 1);
-            assert_eq!(set.dirty_count(), d + 1);
+            lines[d].fill(d as u64, true, 1);
+            assert_eq!(SetView::new(&lines).dirty_count(), d + 1);
         }
     }
 
     #[test]
-    fn locked_mask_and_clear() {
-        let mut set = CacheSet::new(4);
-        set.line_mut(1).fill(5, true, 0);
-        set.line_mut(1).set_locked(true);
-        set.line_mut(2).fill(6, true, 0);
+    fn locked_mask_covers_locked_ways() {
+        let mut lines = empty(4);
+        lines[1].fill(5, true, 0);
+        lines[1].set_locked(true);
+        lines[2].fill(6, true, 0);
+        let set = SetView::new(&lines);
         assert_eq!(set.locked_count(), 1);
         assert_eq!(set.locked_mask().bits(), 0b10);
-        let dirty = set.clear();
-        assert_eq!(dirty, 2);
-        assert_eq!(set.valid_count(), 0);
-        assert_eq!(set.locked_count(), 0);
     }
 }

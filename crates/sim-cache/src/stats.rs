@@ -128,10 +128,20 @@ pub struct HierarchyStats {
     pub l2: CacheStats,
     /// Last-level-cache counters.
     pub llc: CacheStats,
-    /// Accesses that had to go all the way to memory.
+    /// Accesses that had to go all the way to memory: demand fetches plus
+    /// dirty LLC victims written back to memory.
     pub memory_accesses: u64,
     /// Total cycles attributed to demand accesses.
     pub total_cycles: u64,
+    /// Dirty L1 lines written back: evicted into the L2, or flushed (a
+    /// flushed dirty line goes straight to memory; no L2 copy is created).
+    pub l1_writebacks: u64,
+    /// Dirty L2 lines written back: evicted or spilled into the LLC, or
+    /// flushed (straight to memory).
+    pub l2_writebacks: u64,
+    /// Dirty LLC lines written back to memory — the end of the spill chain.
+    /// Every eviction-driven write-back here also counts one memory access.
+    pub llc_writebacks: u64,
 }
 
 impl HierarchyStats {
@@ -151,6 +161,9 @@ impl Add for HierarchyStats {
             llc: self.llc + rhs.llc,
             memory_accesses: self.memory_accesses + rhs.memory_accesses,
             total_cycles: self.total_cycles + rhs.total_cycles,
+            l1_writebacks: self.l1_writebacks + rhs.l1_writebacks,
+            l2_writebacks: self.l2_writebacks + rhs.l2_writebacks,
+            llc_writebacks: self.llc_writebacks + rhs.llc_writebacks,
         }
     }
 }
@@ -166,7 +179,12 @@ impl fmt::Display for HierarchyStats {
         writeln!(f, "L1D: {}", self.l1d)?;
         writeln!(f, "L2 : {}", self.l2)?;
         writeln!(f, "LLC: {}", self.llc)?;
-        write!(f, "memory accesses: {}", self.memory_accesses)
+        writeln!(f, "memory accesses: {}", self.memory_accesses)?;
+        write!(
+            f,
+            "writebacks: L1->L2 {} / L2->LLC {} / LLC->mem {}",
+            self.l1_writebacks, self.l2_writebacks, self.llc_writebacks
+        )
     }
 }
 

@@ -8,7 +8,12 @@
 //!   are removed from the mask before the policy runs.
 //! * **Fill placement.**  A domain that owns only a subset of the ways can
 //!   only install new lines into that subset.
+//!
+//! [`PartitionTable`] maps protection domains to their way masks as a dense
+//! array so the per-access partition resolution is a bounds-checked index,
+//! not a hash lookup.
 
+use crate::line::DomainId;
 use std::fmt;
 
 /// A bitmask over the ways of a cache set (way `i` ↔ bit `i`).
@@ -164,6 +169,64 @@ impl FromIterator<usize> for WayMask {
     }
 }
 
+/// A dense map from protection domains to way masks.
+///
+/// Domains are small integers (the covert-channel experiments use 0–7), so
+/// the table is a `Vec<WayMask>` indexed by domain id, grown on demand up to
+/// the highest partitioned domain; every other domain resolves to the
+/// default mask (all ways of the cache).  [`PartitionTable::resolve`] — the
+/// call on the fill path of every access — is therefore one length compare
+/// and one indexed load, where the previous `HashMap<DomainId, WayMask>`
+/// paid a SipHash round per access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PartitionTable {
+    /// `masks[domain]` when `domain < masks.len()`; `default` otherwise.
+    masks: Vec<WayMask>,
+    /// The mask unpartitioned domains resolve to.
+    default: WayMask,
+}
+
+impl PartitionTable {
+    /// An empty table where every domain resolves to `default`.
+    pub fn new(default: WayMask) -> PartitionTable {
+        PartitionTable {
+            masks: Vec::new(),
+            default,
+        }
+    }
+
+    /// Restricts `domain` to `mask`.
+    pub fn set(&mut self, domain: DomainId, mask: WayMask) {
+        let index = usize::from(domain);
+        if index >= self.masks.len() {
+            self.masks.resize(index + 1, self.default);
+        }
+        self.masks[index] = mask;
+    }
+
+    /// Removes every restriction.
+    pub fn clear(&mut self) {
+        self.masks.clear();
+    }
+
+    /// Whether any domain is restricted.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// The mask `domain` may use.
+    #[inline]
+    pub fn resolve(&self, domain: DomainId) -> WayMask {
+        let index = usize::from(domain);
+        if index < self.masks.len() {
+            self.masks[index]
+        } else {
+            self.default
+        }
+    }
+}
+
 /// Iterator over the enabled ways of a [`WayMask`], produced by [`WayMask::iter`].
 #[derive(Debug, Clone)]
 pub struct WayMaskIter {
@@ -259,5 +322,25 @@ mod tests {
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", WayMask::EMPTY).is_empty());
         assert_eq!(format!("{:b}", WayMask::from_bits(0b101)), "101");
+    }
+
+    #[test]
+    fn partition_table_resolves_dense_and_default() {
+        let all = WayMask::all(8);
+        let mut table = PartitionTable::new(all);
+        assert!(table.is_empty());
+        assert_eq!(table.resolve(0), all);
+        assert_eq!(table.resolve(9999), all);
+        table.set(3, WayMask::range(0, 4));
+        assert_eq!(table.resolve(3), WayMask::range(0, 4));
+        // Domains below the grown index fall back to the default mask.
+        assert_eq!(table.resolve(0), all);
+        assert_eq!(table.resolve(2), all);
+        assert_eq!(table.resolve(4), all, "beyond the table: default");
+        table.set(0, WayMask::range(4, 8));
+        assert_eq!(table.resolve(0), WayMask::range(4, 8));
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.resolve(3), all);
     }
 }

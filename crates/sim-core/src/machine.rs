@@ -28,6 +28,7 @@ use sim_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
 use sim_cache::line::DomainId;
 use sim_cache::outcome::AccessOutcome;
 use sim_cache::policy::PolicyKind;
+use sim_cache::trace::{TraceOp, TraceSummary};
 
 /// Configuration of a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,6 +196,23 @@ impl Machine {
         outcome
     }
 
+    /// Executes a batched trace for `domain` and advances the clock once.
+    ///
+    /// Per-op semantics are identical to issuing the operations through
+    /// [`Machine::read`] / [`Machine::write`] / [`Machine::flush`] in
+    /// sequence — same cache-state evolution, cycle attribution and perf
+    /// counters — but the per-access [`AccessOutcome`] handling and perf
+    /// bookkeeping are folded into one summary.  The warm-up and refill
+    /// loops of the calibration and defense harnesses run through this.
+    pub fn run_trace(&mut self, domain: DomainId, ops: &[TraceOp]) -> TraceSummary {
+        let summary = self
+            .hierarchy
+            .run_trace(ops, AccessContext::for_domain(domain));
+        self.perf.record_trace(domain, &summary);
+        self.now += summary.cycles;
+        summary
+    }
+
     /// Flushes a line for `domain` and advances the clock.
     pub fn flush(&mut self, domain: DomainId, addr: PhysAddr) -> AccessOutcome {
         let outcome = self
@@ -208,16 +226,18 @@ impl Machine {
     /// Executes a serialised pointer-chasing walk and returns
     /// `(measured, true_latency)`: the value the attacker's `rdtscp` pair
     /// reports and the underlying true latency.
+    ///
+    /// The walk — the receiver's decode hot loop — runs through the batched
+    /// trace engine: per-line semantics are unchanged but no per-access
+    /// outcome is materialised.
     pub fn measured_chase(&mut self, domain: DomainId, addrs: &[PhysAddr]) -> (u64, u64) {
-        let mut total = 0u64;
-        for &addr in addrs {
-            let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
-            self.perf.record(domain, &outcome);
-            total += outcome.cycles;
-        }
-        self.now += total;
-        let measured = self.tsc.measure(total, &mut self.rng);
-        (measured, total)
+        let summary = self
+            .hierarchy
+            .run_read_trace(addrs, AccessContext::for_domain(domain));
+        self.perf.record_trace(domain, &summary);
+        self.now += summary.cycles;
+        let measured = self.tsc.measure(summary.cycles, &mut self.rng);
+        (measured, summary.cycles)
     }
 
     /// Executes a single measured load, returning `(measured, outcome)`.
@@ -325,15 +345,17 @@ impl Machine {
                     completion.outcomes.push(outcome);
                 }
                 Action::MeasuredChase(addrs) => {
-                    let mut total = 0;
-                    for addr in addrs {
-                        let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
-                        self.perf.record(domain, &outcome);
-                        total += outcome.cycles;
-                        completion.outcomes.push(outcome);
-                    }
-                    completion.latency = total;
-                    completion.measured = Some(self.tsc.measure(total, &mut self.rng));
+                    // The chase is the receiver's bulk decode path: execute
+                    // it as one batched trace.  Per-line semantics (ordering,
+                    // latency, perf counters) are identical, but no
+                    // per-access outcome is materialised — `outcomes` stays
+                    // empty for chases (see [`Completion::outcomes`]).
+                    let summary = self
+                        .hierarchy
+                        .run_read_trace(&addrs, AccessContext::for_domain(domain));
+                    self.perf.record_trace(domain, &summary);
+                    completion.latency = summary.cycles;
+                    completion.measured = Some(self.tsc.measure(summary.cycles, &mut self.rng));
                 }
                 Action::MeasuredLoad(addr) => {
                     let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
@@ -442,6 +464,38 @@ mod tests {
             dirty >= clean + 3 * penalty,
             "4 dirty lines must slow the sweep: clean={clean} dirty={dirty}"
         );
+    }
+
+    #[test]
+    fn run_trace_matches_per_access_calls() {
+        let ops: Vec<TraceOp> = (0..60u64)
+            .map(|i| {
+                let a = PhysAddr(0x4000 + (i % 13) * 64);
+                if i % 4 == 0 {
+                    TraceOp::write(a)
+                } else {
+                    TraceOp::read(a)
+                }
+            })
+            .collect();
+        let mut batched = ideal_machine();
+        let summary = batched.run_trace(5, &ops);
+
+        let mut serial = ideal_machine();
+        let mut cycles = 0u64;
+        for op in &ops {
+            use sim_cache::trace::TraceKind;
+            let outcome = match op.kind {
+                TraceKind::Read => serial.read(5, op.addr),
+                TraceKind::Write => serial.write(5, op.addr),
+                TraceKind::Flush => serial.flush(5, op.addr),
+            };
+            cycles += outcome.cycles;
+        }
+        assert_eq!(summary.cycles, cycles);
+        assert_eq!(batched.now(), serial.now());
+        assert_eq!(batched.perf(5), serial.perf(5));
+        assert_eq!(batched.hierarchy().stats(), serial.hierarchy().stats());
     }
 
     #[test]

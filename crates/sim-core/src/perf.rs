@@ -7,6 +7,7 @@
 
 use sim_cache::line::DomainId;
 use sim_cache::outcome::{AccessKind, AccessOutcome, HitLevel};
+use sim_cache::trace::TraceSummary;
 use std::collections::HashMap;
 
 /// Counters for one process/domain, mirroring the events the paper samples
@@ -68,6 +69,22 @@ impl PerfCounters {
             }
         }
         self.busy_cycles += outcome.cycles;
+    }
+
+    /// Records a whole batched-trace summary in one step — the bulk-path
+    /// counterpart of [`PerfCounters::record`], with identical counter
+    /// semantics (flush cycles land in `busy_cycles` only, exactly as a
+    /// per-op flush outcome would).
+    pub fn record_trace(&mut self, summary: &TraceSummary) {
+        self.l1_loads += summary.reads;
+        self.l1_load_misses += summary.read_misses;
+        self.stores += summary.writes;
+        self.store_misses += summary.write_misses;
+        self.l2_references += summary.l1_misses();
+        self.l2_misses += summary.llc_hits + summary.memory_accesses;
+        self.llc_references += summary.llc_hits + summary.memory_accesses;
+        self.llc_misses += summary.memory_accesses;
+        self.busy_cycles += summary.cycles;
     }
 
     /// Total L1 data-cache accesses (loads + stores).
@@ -147,6 +164,14 @@ impl PerfStore {
     /// Records an outcome for `domain`.
     pub fn record(&mut self, domain: DomainId, outcome: &AccessOutcome) {
         self.counters.entry(domain).or_default().record(outcome);
+    }
+
+    /// Records a batched-trace summary for `domain`.
+    pub fn record_trace(&mut self, domain: DomainId, summary: &TraceSummary) {
+        self.counters
+            .entry(domain)
+            .or_default()
+            .record_trace(summary);
     }
 
     /// The counters of `domain` (zeroed if the domain never ran).
@@ -238,6 +263,28 @@ mod tests {
         assert_eq!(perf.loads_per_ms(PerfLevel::L1, 0, 2.2), 0.0);
         assert_eq!(perf.loads_per_ms(PerfLevel::L2, 2_200_000, 2.2), 0.0);
         assert!(perf.loads_per_ms(PerfLevel::Total, 2_200_000, 2.2) >= per_ms);
+    }
+
+    #[test]
+    fn record_trace_matches_per_outcome_recording() {
+        // One batched summary must land on exactly the counters the
+        // equivalent per-op outcomes would have produced.
+        let outcomes = [
+            outcome(AccessKind::Read, HitLevel::L1D, 4),
+            outcome(AccessKind::Read, HitLevel::L2, 22),
+            outcome(AccessKind::Write, HitLevel::L3, 51),
+            outcome(AccessKind::Write, HitLevel::Memory, 211),
+            outcome(AccessKind::Flush, HitLevel::Memory, 19),
+        ];
+        let mut serial = PerfCounters::default();
+        let mut summary = TraceSummary::default();
+        for o in &outcomes {
+            serial.record(o);
+            summary.absorb(o);
+        }
+        let mut batched = PerfCounters::default();
+        batched.record_trace(&summary);
+        assert_eq!(batched, serial);
     }
 
     #[test]

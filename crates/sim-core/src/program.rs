@@ -78,6 +78,10 @@ pub struct Completion {
     /// The value an `rdtscp` measurement reported, for measured actions.
     pub measured: Option<u64>,
     /// Outcomes of the individual memory accesses performed by the action.
+    ///
+    /// [`Action::MeasuredChase`] is executed through the batched trace
+    /// engine and does **not** materialise per-line outcomes — this vector
+    /// stays empty for chases; `latency` and `measured` carry the result.
     pub outcomes: Vec<AccessOutcome>,
 }
 
