@@ -146,6 +146,33 @@ impl Table {
         out
     }
 
+    /// Renders the table as NDJSON (newline-delimited JSON): one compact
+    /// `{"type":"table",...}` header line carrying the stem, title and
+    /// column headers, then one `{"type":"row",...}` line per data row.
+    ///
+    /// This is the streaming row format of the experiment service: rows can
+    /// be concatenated across tables (each line names its `stem`), consumed
+    /// line-by-line without a JSON parser that handles nesting, and — being
+    /// a pure function of the table — compared byte-for-byte across runs.
+    pub fn to_ndjson(&self, stem: &str) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_string(h)).collect();
+        let mut out = format!(
+            "{{\"type\":\"table\",\"stem\":{},\"title\":{},\"headers\":[{}]}}\n",
+            json_string(stem),
+            json_string(&self.title),
+            headers.join(",")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+            out.push_str(&format!(
+                "{{\"type\":\"row\",\"stem\":{},\"cells\":[{}]}}\n",
+                json_string(stem),
+                cells.join(",")
+            ));
+        }
+        out
+    }
+
     /// Parses a table from the JSON produced by [`Table::to_json`].
     ///
     /// # Errors
@@ -176,8 +203,10 @@ impl Table {
 }
 
 /// Encodes a string as a JSON string literal (quotes, escapes, control
-/// characters).
-fn json_string(s: &str) -> String {
+/// characters). Public because the hand-rolled JSON emitters elsewhere in
+/// the workspace (the experiment service's status lines, the NDJSON rows)
+/// share this one escaper rather than growing their own.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -455,6 +484,37 @@ mod tests {
         assert_eq!(back, t);
         let empty = Table::new("", &[]);
         assert_eq!(Table::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn ndjson_has_one_header_line_and_one_line_per_row() {
+        let ndjson = sample_table().to_ndjson("table2");
+        let lines: Vec<&str> = ndjson.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"table\",\"stem\":\"table2\",\"title\":\"Demo\",\
+             \"headers\":[\"N\",\"LRU\",\"Intel\"]}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"row\",\"stem\":\"table2\",\"cells\":[\"8\",\"100%\",\"68.8%\"]}"
+        );
+        assert!(ndjson.ends_with('\n'));
+        // Deterministic: same table, same bytes.
+        assert_eq!(ndjson, sample_table().to_ndjson("table2"));
+    }
+
+    #[test]
+    fn ndjson_escapes_special_characters() {
+        let mut t = Table::new("title \"q\"", &["a\nb"]);
+        t.push_row(["cell \\ tab\t"]);
+        let ndjson = t.to_ndjson("s");
+        assert!(ndjson.contains("\"title \\\"q\\\"\""));
+        assert!(ndjson.contains("\"a\\nb\""));
+        assert!(ndjson.contains("\"cell \\\\ tab\\t\""));
+        // Every line is itself minimal JSON: no raw newlines inside a line.
+        assert_eq!(ndjson.lines().count(), 2);
     }
 
     #[test]

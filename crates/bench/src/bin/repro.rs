@@ -4,7 +4,10 @@
 //! Usage:
 //!   repro list [--quick|--full]
 //!   repro run <id|glob>... [--quick|--full] [--threads N] [--out DIR]
-//!                          [--seed SEED] [--no-progress]
+//!                          [--seed SEED] [--no-progress] [--verbose]
+//!                          [--allow-empty]
+//!   repro serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR]
+//!               [--workers K] [--seed SEED]
 //! ```
 //!
 //! `list` prints the scenario registry: stable id, paper cross-reference,
@@ -13,6 +16,8 @@
 //! points out across `--threads` workers (default: all cores), prints each
 //! result table, writes Markdown/CSV/JSON copies under the output directory
 //! (default `results/`), and records the run in `results/manifest.json`.
+//! `serve` keeps the whole registry resident behind the experiment service
+//! (job queue + result cache + metrics; see `crates/service`).
 //!
 //! Results are bit-identical at any `--threads` value: every point's seed is
 //! derived from `(--seed, scenario id, point index)` before execution.
@@ -53,15 +58,23 @@ fn emit(text: &dyn std::fmt::Display) {
 }
 
 const USAGE: &str = "usage:\n  repro list [--quick|--full]\n  repro run <id|glob>... \
-    [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n  \
-    repro bench-sim [--quick|--full] [--out DIR] [--baseline PATH] [--max-regress PCT]\n\
+    [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n           \
+    [--verbose] [--allow-empty]\n  \
+    repro bench-sim [--quick|--full] [--out DIR] [--baseline PATH] [--max-regress PCT]\n  \
+    repro serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--workers K]\n              \
+    [--seed SEED]\n\
     \nscenario ids (see `repro list`): table1 table2 table4 table5 table6 table7\n\
     fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel; globs like 'table*' and\n\
     the keyword `all` also work\n\
     \nbench-sim measures cache-hierarchy throughput (accesses/sec) on three\n\
     canonical traces, writes BENCH_sim.{md,csv,json} under --out, and exits\n\
     non-zero when a trace regresses more than --max-regress percent (default\n\
-    30) below the --baseline table";
+    30) below the --baseline table\n\
+    \nserve starts the resident experiment service (default addr 127.0.0.1:7878;\n\
+    --addr with port 0 picks an ephemeral port and prints it): POST /jobs queues\n\
+    scenario runs, results are cached by (scenario, scale, seed) under\n\
+    --cache-dir, GET /metrics exposes request/queue/cache/pool counters, and\n\
+    POST /shutdown drains in-flight jobs before exiting";
 
 /// Argument error: usage on stderr, exit 2. An explicit `--help` instead
 /// prints to stdout and exits 0 (see `main`).
@@ -112,13 +125,10 @@ fn write(table: &Table, out_dir: &Path, stem: &str) -> Result<(), String> {
     }
 }
 
-fn parse_seed(text: &str) -> Option<u64> {
-    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        text.parse().ok()
-    }
-}
+// One seed grammar for the whole system: the CLI accepts exactly what the
+// service's job specs accept, so the same seed string always lands on the
+// same cache key.
+use service::job::parse_seed;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -136,12 +146,18 @@ fn main() -> ExitCode {
     let mut threads = default_threads();
     let mut root_seed = bench::SEED;
     let mut progress = true;
+    let mut verbose = false;
+    let mut allow_empty = false;
     let mut patterns = Vec::new();
     let mut baseline: Option<PathBuf> = None;
     let mut max_regress = 0.30f64;
-    // First run-only / bench-sim-only flag seen; the other commands reject
-    // these instead of silently ignoring them. Each flag's own match arm
-    // records itself here so the rejection list cannot drift from the parser.
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut workers = 2usize;
+    // First run-only / bench-sim-only / serve-only flag seen; the other
+    // commands reject these instead of silently ignoring them. Each flag's
+    // own match arm records itself here so the rejection list cannot drift
+    // from the parser.
     let mut run_only_flag: Option<&str> = None;
     let mut record_run_only = |flag: &'static str| {
         if run_only_flag.is_none() {
@@ -154,7 +170,20 @@ fn main() -> ExitCode {
             bench_only_flag = Some(flag);
         }
     };
+    let mut serve_only_flag: Option<&str> = None;
+    let mut record_serve_only = |flag: &'static str| {
+        if serve_only_flag.is_none() {
+            serve_only_flag = Some(flag);
+        }
+    };
+    // `--threads` and `--seed` are shared by `run` and `serve` (rejected by
+    // `list` and `bench-sim`); `--out` by `run` and `bench-sim`;
+    // `--quick`/`--full` by everything *except* `serve`, where scale is a
+    // per-job property of the POSTed spec.
+    let mut threads_flag_seen = false;
+    let mut seed_flag_seen = false;
     let mut out_flag_seen = false;
+    let mut scale_flag_seen = false;
     // A flag's value must not itself look like a flag: `--out --no-progress`
     // should be the usage error it almost certainly is, not a directory
     // literally named "--no-progress".
@@ -162,16 +191,51 @@ fn main() -> ExitCode {
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
+            "--quick" => {
+                scale_flag_seen = true;
+                scale = Scale::Quick;
+            }
+            "--full" => {
+                scale_flag_seen = true;
+                scale = Scale::Full;
+            }
             "--no-progress" => {
                 record_run_only("--no-progress");
                 progress = false;
             }
+            "--verbose" => {
+                record_run_only("--verbose");
+                verbose = true;
+            }
+            "--allow-empty" => {
+                record_run_only("--allow-empty");
+                allow_empty = true;
+            }
             "--threads" => {
-                record_run_only("--threads");
+                threads_flag_seen = true;
                 match value(iter.next()).and_then(|n| n.parse().ok()) {
                     Some(n) if n >= 1 => threads = n,
+                    _ => usage(),
+                }
+            }
+            "--addr" => {
+                record_serve_only("--addr");
+                match value(iter.next()) {
+                    Some(a) => addr = a,
+                    None => usage(),
+                }
+            }
+            "--cache-dir" => {
+                record_serve_only("--cache-dir");
+                match value(iter.next()) {
+                    Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                    None => usage(),
+                }
+            }
+            "--workers" => {
+                record_serve_only("--workers");
+                match value(iter.next()).and_then(|n| n.parse().ok()) {
+                    Some(n) if n >= 1 => workers = n,
                     _ => usage(),
                 }
             }
@@ -198,7 +262,7 @@ fn main() -> ExitCode {
                 }
             }
             "--seed" => {
-                record_run_only("--seed");
+                seed_flag_seen = true;
                 match value(iter.next()).and_then(|s| parse_seed(&s)) {
                     Some(seed) => root_seed = seed,
                     None => usage(),
@@ -230,6 +294,14 @@ fn main() -> ExitCode {
                 eprintln!("{flag} only applies to `repro bench-sim`");
                 usage();
             }
+            if let Some(flag) = serve_only_flag {
+                eprintln!("{flag} only applies to `repro serve`");
+                usage();
+            }
+            if threads_flag_seen || seed_flag_seen {
+                eprintln!("--threads/--seed only apply to `repro run` and `repro serve`");
+                usage();
+            }
             if out_flag_seen {
                 eprintln!("--out only applies to `repro run` and `repro bench-sim`");
                 usage();
@@ -243,6 +315,14 @@ fn main() -> ExitCode {
             }
             if let Some(flag) = run_only_flag {
                 eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            if let Some(flag) = serve_only_flag {
+                eprintln!("{flag} only applies to `repro serve`");
+                usage();
+            }
+            if threads_flag_seen || seed_flag_seen {
+                eprintln!("--threads/--seed only apply to `repro run` and `repro serve`");
                 usage();
             }
             let results = bench::bench_sim::run(scale == Scale::Full);
@@ -290,11 +370,30 @@ fn main() -> ExitCode {
                 eprintln!("{flag} only applies to `repro bench-sim`");
                 usage();
             }
-            let selected = match registry.select(&patterns) {
-                Ok(selected) => selected,
-                Err(error) => {
-                    eprintln!("error: {error}");
-                    return ExitCode::FAILURE;
+            if let Some(flag) = serve_only_flag {
+                eprintln!("{flag} only applies to `repro serve`");
+                usage();
+            }
+            // A selection that matches nothing is an error by default — a
+            // typo must not "succeed" by writing an empty manifest. Scripts
+            // sweeping speculative globs opt back in with --allow-empty.
+            let selected = if allow_empty {
+                let selected = registry.select_lenient(&patterns);
+                if selected.is_empty() {
+                    eprintln!(
+                        "[repro] no scenario matches {patterns:?}; --allow-empty set, \
+                         writing an empty manifest"
+                    );
+                }
+                selected
+            } else {
+                match registry.select(&patterns) {
+                    Ok(selected) => selected,
+                    Err(error) => {
+                        eprintln!("error: {error}");
+                        eprintln!("hint: --allow-empty treats an empty selection as success");
+                        return ExitCode::FAILURE;
+                    }
                 }
             };
             let config = RunConfig {
@@ -303,6 +402,7 @@ fn main() -> ExitCode {
                 root_seed,
                 progress,
             };
+            let pool_before = runner::pool::stats();
             let mut runs = execute(&selected, &config);
             let mut failed = false;
             for run in &mut runs {
@@ -333,10 +433,84 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             }
+            if verbose {
+                let pool = runner::pool::stats().since(&pool_before);
+                emit(&format_args!(
+                    "pool: tasks queued={} completed={} panicked={} steals={} \
+                     peak queue depth={}",
+                    pool.tasks_queued,
+                    pool.tasks_completed,
+                    pool.tasks_panicked,
+                    pool.steals,
+                    pool.peak_queue_depth,
+                ));
+            }
             if failed {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
+            }
+        }
+        "serve" => {
+            if !patterns.is_empty() {
+                usage();
+            }
+            if let Some(flag) = run_only_flag {
+                eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            if let Some(flag) = bench_only_flag {
+                eprintln!("{flag} only applies to `repro bench-sim`");
+                usage();
+            }
+            if out_flag_seen {
+                eprintln!("--out only applies to `repro run` and `repro bench-sim`");
+                usage();
+            }
+            if scale_flag_seen {
+                // Silently defaulting every job to quick while the operator
+                // believes the *server* runs at full scale would be worse
+                // than refusing: scale belongs to each POSTed job spec.
+                eprintln!(
+                    "--quick/--full do not apply to `repro serve`; set \"scale\" per job \
+                     in the POST /jobs body"
+                );
+                usage();
+            }
+            let config = service::ServerConfig {
+                addr: addr.clone(),
+                job_workers: workers,
+                max_job_threads: threads,
+                cache_dir,
+                default_seed: root_seed,
+                ..service::ServerConfig::default()
+            };
+            let server = match service::Server::bind(registry, config) {
+                Ok(server) => server,
+                Err(error) => {
+                    eprintln!("error: could not bind {addr}: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                // Printed on stdout (line-buffered, so visible immediately
+                // even when redirected): with `--addr ...:0` this line is
+                // how callers learn the ephemeral port.
+                Ok(local) => emit(&format_args!("[repro] serving on http://{local}")),
+                Err(error) => {
+                    eprintln!("error: bound socket has no address: {error}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match server.serve() {
+                Ok(()) => {
+                    emit(&"[repro] shutdown complete; all jobs drained");
+                    ExitCode::SUCCESS
+                }
+                Err(error) => {
+                    eprintln!("error: server failed: {error}");
+                    ExitCode::FAILURE
+                }
             }
         }
         _ => usage(),

@@ -1,0 +1,103 @@
+//! Acceptance test: the experiment service over the *real* scenario
+//! registry.
+//!
+//! Proves the ISSUE 4 criterion end to end: two identical `POST /jobs`
+//! submissions return byte-identical result bodies, the second one is a
+//! cache hit visible in `/metrics`, and graceful shutdown completes an
+//! in-flight job before `serve` returns.
+
+use service::{client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bench-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job_id(ack: &str) -> String {
+    client::job_id(ack).expect("ack carries an id")
+}
+
+fn poll_done(addr: SocketAddr, id: &str) -> String {
+    // Real quick-scale scenarios on a loaded 1-CPU runner: generous bound.
+    client::poll_job_done(addr, id, Duration::from_secs(120)).expect("job completes")
+}
+
+#[test]
+fn serve_caches_real_scenarios_and_drains_on_shutdown() {
+    let cache_dir = temp_dir("cache");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        job_workers: 1,
+        max_job_threads: 2,
+        cache_dir: Some(cache_dir.clone()),
+        default_seed: bench::SEED,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(bench::registry(), config).expect("bind");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.serve());
+
+    // The full registry is listed.
+    let scenarios = client::get(addr, "/scenarios").unwrap().body;
+    for id in ["table2", "fig6", "defenses", "sidechannel"] {
+        assert!(
+            scenarios.contains(&format!("\"id\":\"{id}\"")),
+            "{scenarios}"
+        );
+    }
+
+    // Two identical submissions of a real paper scenario.
+    let spec = "{\"scenarios\":\"table1\",\"scale\":\"quick\",\"seed\":2022,\"threads\":2}";
+    let first_ack = client::post(addr, "/jobs", spec).unwrap();
+    assert_eq!(first_ack.status, 202, "{}", first_ack.body);
+    let first = poll_done(addr, &job_id(&first_ack.body));
+    let second_ack = client::post(addr, "/jobs", spec).unwrap();
+    let second = poll_done(addr, &job_id(&second_ack.body));
+
+    // Byte-identical result payloads (everything after the status line).
+    let first_payload = first.split_once('\n').unwrap().1;
+    let second_payload = second.split_once('\n').unwrap().1;
+    assert!(!first_payload.is_empty());
+    assert_eq!(first_payload, second_payload);
+    assert!(second
+        .lines()
+        .next()
+        .unwrap()
+        .contains("\"cache_hits\":1,\"cache_misses\":0"));
+
+    // The second fetch was a cache hit, visible in /metrics, and the result
+    // is addressable by its content key.
+    let metrics = client::get(addr, "/metrics").unwrap().body;
+    assert!(
+        metrics.contains("service_result_cache_hits_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("service_result_cache_misses_total 1"),
+        "{metrics}"
+    );
+    let key = "table1-quick-0x00000000000007e6";
+    let direct = client::get(addr, &format!("/results/{key}")).unwrap();
+    assert_eq!(direct.status, 200);
+    assert_eq!(direct.body, first_payload);
+    assert!(cache_dir.join(format!("{key}.ndjson")).exists());
+
+    // Queue another scenario and shut down immediately: the drain must
+    // finish (and persist) it before `serve` returns.
+    let third_ack = client::post(addr, "/jobs", "{\"scenarios\":\"table4\"}").unwrap();
+    assert_eq!(third_ack.status, 202, "{}", third_ack.body);
+    let shutdown = client::post(addr, "/shutdown", "").unwrap();
+    assert_eq!(shutdown.status, 200);
+    handle.join().unwrap().expect("serve exits cleanly");
+    let drained_key = format!("table4-quick-{:#018x}", bench::SEED);
+    assert!(
+        cache_dir.join(format!("{drained_key}.ndjson")).exists(),
+        "in-flight job was not drained before exit"
+    );
+
+    std::fs::remove_dir_all(&cache_dir).unwrap();
+}

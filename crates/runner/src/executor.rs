@@ -6,7 +6,7 @@
 //! bit-identical at any thread count, while a wide sweep like Figure 6
 //! saturates every core instead of running its grid serially.
 
-use crate::pool::run_ordered;
+use crate::pool::run_ordered_catch;
 use crate::scale::Scale;
 use crate::scenario::{PointCtx, PointOutput, Scenario};
 use analysis::table::Table;
@@ -109,19 +109,40 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
         }
     }
 
-    let mut results = run_ordered(config.threads, tasks).into_iter();
+    // One panic mechanism for the whole stack: the pool catches a panicking
+    // point (`run_ordered_catch`), counts it in `PoolStats::tasks_panicked`,
+    // keeps draining, and hands back the message as the slot's `Err` — here
+    // it becomes the point's error. (A panicked point skips its progress
+    // accounting above, so a scenario whose last point panics may not print
+    // its "done" line; the manifest still records the error.)
+    let mut results = run_ordered_catch(config.threads, tasks).into_iter();
 
     // Group the flat results back per scenario (submission order is grouped
     // by scenario, so each scenario owns a contiguous run) and assemble.
     let mut runs = Vec::with_capacity(scenarios.len());
     for (si, scenario) in scenarios.iter().enumerate() {
-        let group: Vec<PointRun> = results.by_ref().take(point_counts[si]).collect();
+        let group: Vec<PointRun> = results
+            .by_ref()
+            .take(point_counts[si])
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|message| PointRun {
+                    // Neutral elements of the min/max wall-time folds: a
+                    // panicked point contributes no timing.
+                    started_ms: f64::MAX,
+                    finished_ms: 0.0,
+                    output: Err(format!("point {index} panicked: {message}")),
+                })
+            })
+            .collect();
         let started = group.iter().map(|p| p.started_ms).fold(f64::MAX, f64::min);
         let finished = group.iter().map(|p| p.finished_ms).fold(0.0, f64::max);
         let wall_ms = if group.is_empty() {
             0.0
         } else {
-            finished - started
+            // Clamp for the all-points-panicked case, where only the
+            // neutral timing elements are left.
+            (finished - started).max(0.0)
         };
         let error = group.iter().find_map(|p| p.output.as_ref().err()).cloned();
         let tables = if error.is_some() {
@@ -249,6 +270,55 @@ mod tests {
 
         // A fully empty selection produces no runs at all.
         assert!(execute(&[], &config).is_empty());
+    }
+
+    #[test]
+    fn a_panicking_point_surfaces_as_the_scenario_error() {
+        // The panic is confined to its scenario: the run returns normally,
+        // the panicking scenario carries the message as its error, and the
+        // other scenario still produces its tables (the pool drained it).
+        fn one(_: Scale) -> usize {
+            1
+        }
+        fn explode(_: &PointCtx) -> Result<PointOutput, String> {
+            panic!("deliberate test panic");
+        }
+        fn assemble(_: Scale, _: &[PointOutput]) -> Vec<(String, Table)> {
+            unreachable!("assemble must not run for a panicked scenario")
+        }
+        let panicking = Scenario {
+            id: "panicking",
+            paper_ref: "-",
+            section: "-",
+            summary: "always panics",
+            seeding: Seeding::Derived,
+            points: one,
+            run_point: explode,
+            assemble,
+        };
+        let good = seed_echo_scenario();
+        for threads in [1, 4] {
+            let config = RunConfig {
+                scale: Scale::Quick,
+                threads,
+                root_seed: 1,
+                progress: false,
+            };
+            let pool_before = crate::pool::stats();
+            let runs = execute(&[&panicking, &good], &config);
+            let error = runs[0].error.as_deref().expect("panic recorded");
+            assert!(error.contains("panicked"), "{error}");
+            assert!(error.contains("deliberate test panic"), "{error}");
+            assert!(runs[0].tables.is_empty());
+            assert!(runs[0].wall_ms >= 0.0, "threads={threads}");
+            assert!(runs[1].error.is_none(), "threads={threads}");
+            assert_eq!(runs[1].tables.len(), 1);
+            // The panic went through the pool's guard, so it is visible in
+            // the instrumentation (lower bound: other tests share the
+            // process-wide counters).
+            let delta = crate::pool::stats().since(&pool_before);
+            assert!(delta.tasks_panicked >= 1, "{delta:?}");
+        }
     }
 
     #[test]

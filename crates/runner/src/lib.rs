@@ -23,7 +23,9 @@
 //!   collection with glob-pattern selection (`repro run 'table*'`).
 //! * [`pool`] — the work-stealing executor over `std::thread` (the build is
 //!   offline, so no rayon); results come back in submission order regardless
-//!   of thread count.
+//!   of thread count, panics are confined to the job that raised them, and
+//!   cheap atomic counters ([`PoolStats`]) feed the experiment service's
+//!   `/metrics` endpoint and `repro run --verbose`.
 //! * [`executor`] — runs selected scenarios on the pool and collects
 //!   per-scenario wall times and output tables.
 //! * [`manifest`] — renders a run into the `results/manifest.json` table.
@@ -49,6 +51,7 @@ pub mod scenario;
 pub mod seed;
 
 pub use executor::{execute, RunConfig, ScenarioRun};
+pub use pool::PoolStats;
 pub use registry::Registry;
 pub use scale::{Scale, Sizes};
 pub use scenario::{PointCtx, PointOutput, Scenario, Seeding};

@@ -1,0 +1,350 @@
+//! The content-addressed result store.
+//!
+//! A result is the NDJSON body of one scenario's tables, keyed by
+//! `(scenario id, scale, root seed)` — the complete input of a scenario run
+//! (Sizes are a pure function of the scale, point seeds derive from the
+//! root seed). Because the runner is byte-identical at any thread count,
+//! two jobs that agree on the key agree on every output byte, so a cache
+//! hit can be served without recomputing anything and without equivocation
+//! about staleness: entries never expire, they are facts.
+//!
+//! Memory stays bounded over an unbounded service lifetime: with a cache
+//! directory configured, every insert is persisted as `<dir>/<key>.ndjson`
+//! (write-then-rename, so a crash can never leave a truncated result) and
+//! at most [`DEFAULT_RESIDENT_CAP`] bodies stay resident in memory —
+//! older ones are evicted FIFO and transparently re-read from disk on the
+//! next request. Startup never scans the directory: a restarted service
+//! re-serves accumulated results lazily, at O(1) boot cost regardless of
+//! cache size. Without a directory there is nowhere to evict *to*, so the
+//! memory-only cache keeps everything (and the operator has accepted that
+//! by not passing `--cache-dir`).
+
+use runner::Scale;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Resident bodies kept in memory when the cache is disk-backed; a seed
+/// sweep over thousands of keys settles at this many in RAM, the rest on
+/// disk.
+pub const DEFAULT_RESIDENT_CAP: usize = 512;
+
+/// The cache key of one scenario result: `<id>-<scale>-<seed as 0x…>`.
+///
+/// The key doubles as the `GET /results/<key>` path segment and (with
+/// `.ndjson` appended) the on-disk file name; scenario ids are kebab-case
+/// ASCII, so no escaping is ever needed.
+pub fn result_key(scenario_id: &str, scale: Scale, root_seed: u64) -> String {
+    format!("{scenario_id}-{}-{root_seed:#018x}", scale.label())
+}
+
+/// Whether `key` has the shape [`result_key`] produces (ASCII
+/// alphanumerics, `-` and `_`).
+///
+/// `GET /results/<key>` hands client-controlled text to the cache, and the
+/// disk read-through joins the key into the cache directory — an
+/// unvalidated `../../etc/something` would escape it. Server-generated keys
+/// never contain a path separator, so rejecting everything else loses
+/// nothing.
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// The resident (in-memory) slice of the cache.
+#[derive(Debug, Default)]
+struct Resident {
+    bodies: HashMap<String, Arc<str>>,
+    /// Resident keys, oldest first, for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// In-memory (and optionally on-disk) store of scenario result bodies.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    resident_cap: usize,
+    resident: Mutex<Resident>,
+}
+
+impl ResultCache {
+    /// Opens the cache with the default resident bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or scanning the directory.
+    pub fn open(dir: Option<PathBuf>) -> io::Result<ResultCache> {
+        ResultCache::open_with_resident_cap(dir, DEFAULT_RESIDENT_CAP)
+    }
+
+    /// Opens the cache. With `Some(dir)` the directory is created if
+    /// needed; existing `<key>.ndjson` files are *not* scanned — they are
+    /// read through lazily on the first `get` of their key, so startup cost
+    /// is O(1) however many results have accumulated, and an unreadable
+    /// entry (corrupted, non-UTF-8, a directory wearing the extension)
+    /// simply answers as a miss instead of bricking the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn open_with_resident_cap(
+        dir: Option<PathBuf>,
+        resident_cap: usize,
+    ) -> io::Result<ResultCache> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ResultCache {
+            dir,
+            resident_cap: resident_cap.max(1),
+            resident: Mutex::new(Resident::default()),
+        })
+    }
+
+    /// Looks a result body up: resident memory first, then (when
+    /// disk-backed) the cache directory, re-residenting what it finds.
+    /// Keys that could not have come from [`result_key`] (see
+    /// [`valid_key`]) answer `None` without touching the filesystem.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        if !valid_key(key) {
+            return None;
+        }
+        if let Some(body) = self
+            .resident
+            .lock()
+            .expect("cache lock poisoned")
+            .bodies
+            .get(key)
+        {
+            return Some(Arc::clone(body));
+        }
+        let dir = self.dir.as_ref()?;
+        let body = std::fs::read_to_string(dir.join(format!("{key}.ndjson"))).ok()?;
+        let body: Arc<str> = Arc::from(body.as_str());
+        self.keep_resident(key, Arc::clone(&body));
+        Some(body)
+    }
+
+    /// Stores a result body under `key`, persisting it to the cache
+    /// directory when one is configured.
+    ///
+    /// Determinism makes double-inserts of the same key idempotent (both
+    /// writers computed the same bytes), so concurrent identical jobs need
+    /// no insert-side coordination.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the on-disk copy cannot be written; the
+    /// in-memory entry is kept either way (the cache is still correct, only
+    /// persistence degraded).
+    pub fn insert(&self, key: &str, body: String) -> io::Result<()> {
+        let body: Arc<str> = Arc::from(body.as_str());
+        self.keep_resident(key, Arc::clone(&body));
+        if let Some(dir) = &self.dir {
+            // Write-then-rename so a crash or full disk mid-write can never
+            // leave a truncated `<key>.ndjson` behind — entries never
+            // expire, so a partial file would otherwise be served as an
+            // "exact" result forever after a restart. The unique temp name
+            // keeps concurrent identical inserts from interleaving, and
+            // loading only considers `.ndjson` files, so orphaned temps are
+            // never mistaken for results.
+            static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let tmp = dir.join(format!(
+                "{key}.{}.{}.tmp",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            ));
+            let target = dir.join(format!("{key}.ndjson"));
+            let written =
+                std::fs::write(&tmp, body.as_bytes()).and_then(|()| std::fs::rename(&tmp, &target));
+            if written.is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+            written?;
+        }
+        Ok(())
+    }
+
+    /// Makes `key` resident, evicting the oldest resident bodies beyond the
+    /// bound — but only entries whose disk copy actually exists, so a body
+    /// whose persist failed (disk full, permissions) is never dropped into
+    /// the void: it stays resident, pinned, still servable.
+    fn keep_resident(&self, key: &str, body: Arc<str>) {
+        let mut resident = self.resident.lock().expect("cache lock poisoned");
+        if resident.bodies.insert(key.to_owned(), body).is_none() {
+            resident.order.push_back(key.to_owned());
+        }
+        if let Some(dir) = &self.dir {
+            while resident.bodies.len() > self.resident_cap {
+                let Some(oldest) = resident.order.pop_front() else {
+                    // Everything left is pinned (no disk copy): stay over
+                    // the bound rather than lose completed results.
+                    break;
+                };
+                if dir.join(format!("{oldest}.ndjson")).exists() {
+                    resident.bodies.remove(&oldest);
+                }
+                // Not on disk: its order slot is consumed, leaving it
+                // effectively pinned in memory.
+            }
+        }
+    }
+
+    /// Number of resident results (disk-backed entries may exceed this).
+    pub fn len(&self) -> usize {
+        self.resident
+            .lock()
+            .expect("cache lock poisoned")
+            .bodies
+            .len()
+    }
+
+    /// Whether no result is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("service-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_encode_id_scale_and_seed() {
+        assert_eq!(
+            result_key("table2", Scale::Quick, 2022),
+            "table2-quick-0x00000000000007e6"
+        );
+        assert_eq!(
+            result_key("fig5-7", Scale::Full, u64::MAX),
+            "fig5-7-full-0xffffffffffffffff"
+        );
+    }
+
+    #[test]
+    fn memory_only_cache_round_trips() {
+        let cache = ResultCache::open(None).unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.get("missing").is_none());
+        cache.insert("k1", "line\n".to_owned()).unwrap();
+        assert_eq!(cache.get("k1").as_deref(), Some("line\n"));
+        assert_eq!(cache.len(), 1);
+        // Idempotent re-insert.
+        cache.insert("k1", "line\n".to_owned()).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_backed_cache_persists_across_reopen() {
+        let dir = temp_dir("persist");
+        let cache = ResultCache::open(Some(dir.clone())).unwrap();
+        cache
+            .insert("table2-quick-0x0000000000000001", "row\n".to_owned())
+            .unwrap();
+        assert!(dir.join("table2-quick-0x0000000000000001.ndjson").exists());
+        // The write-then-rename path leaves no temp file behind.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "tmp")
+            })
+            .count();
+        assert_eq!(leftovers, 0);
+        drop(cache);
+        // Reopening never scans the directory (O(1) startup): nothing is
+        // resident until the first read-through.
+        let reopened = ResultCache::open(Some(dir.clone())).unwrap();
+        assert!(reopened.is_empty());
+        assert_eq!(
+            reopened.get("table2-quick-0x0000000000000001").as_deref(),
+            Some("row\n")
+        );
+        assert_eq!(reopened.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unreadable_entries_answer_as_misses_not_errors() {
+        let dir = temp_dir("unreadable");
+        let cache = ResultCache::open(Some(dir.clone())).unwrap();
+        cache.insert("good", "ok\n".to_owned()).unwrap();
+        // A directory wearing the result extension: read_to_string errors.
+        std::fs::create_dir_all(dir.join("evil.ndjson")).unwrap();
+        // Non-UTF-8 bytes under the result extension: not valid results.
+        std::fs::write(dir.join("binary.ndjson"), [0xff, 0xfe, 0x00]).unwrap();
+        let reopened = ResultCache::open(Some(dir.clone())).unwrap();
+        assert_eq!(reopened.get("good").as_deref(), Some("ok\n"));
+        assert!(reopened.get("evil").is_none());
+        assert!(reopened.get("binary").is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traversal_shaped_keys_never_reach_the_filesystem() {
+        let dir = temp_dir("traversal");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A file an attacker would love to read through the cache dir.
+        std::fs::write(dir.join("secret.ndjson"), "secret\n").unwrap();
+        let nested = dir.join("cache");
+        let cache = ResultCache::open(Some(nested)).unwrap();
+        assert!(cache.get("../secret").is_none());
+        assert!(cache.get("..%2Fsecret").is_none());
+        assert!(cache.get("a/b").is_none());
+        assert!(cache.get("").is_none());
+        assert!(valid_key("table2-quick-0x00000000000007e6"));
+        assert!(!valid_key("../secret"));
+        assert!(!valid_key("a.b"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_body_whose_persist_was_lost_is_pinned_not_dropped() {
+        let dir = temp_dir("pinned");
+        let cache = ResultCache::open_with_resident_cap(Some(dir.clone()), 1).unwrap();
+        cache.insert("a", "a-body\n".to_owned()).unwrap();
+        // Simulate a lost/failed persist: the disk copy vanishes.
+        std::fs::remove_file(dir.join("a.ndjson")).unwrap();
+        // Inserting more must not evict `a` into the void…
+        cache.insert("b", "b-body\n".to_owned()).unwrap();
+        assert_eq!(cache.get("a").as_deref(), Some("a-body\n"));
+        // …and `b` (which is safely on disk) stays reachable either way.
+        assert_eq!(cache.get("b").as_deref(), Some("b-body\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resident_set_is_bounded_with_disk_read_through() {
+        let dir = temp_dir("bounded");
+        let cache = ResultCache::open_with_resident_cap(Some(dir.clone()), 2).unwrap();
+        cache.insert("k1", "one\n".to_owned()).unwrap();
+        cache.insert("k2", "two\n".to_owned()).unwrap();
+        cache.insert("k3", "three\n".to_owned()).unwrap();
+        // Only the newest two stay resident; the oldest was evicted…
+        assert_eq!(cache.len(), 2);
+        // …but is transparently served from disk, becoming resident again.
+        assert_eq!(cache.get("k1").as_deref(), Some("one\n"));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("k2").as_deref(), Some("two\n"));
+        assert_eq!(cache.get("k3").as_deref(), Some("three\n"));
+        // The memory-only cache never evicts: there is no disk to fall
+        // back to.
+        let unbounded = ResultCache::open_with_resident_cap(None, 1).unwrap();
+        unbounded.insert("a", "a\n".to_owned()).unwrap();
+        unbounded.insert("b", "b\n".to_owned()).unwrap();
+        assert_eq!(unbounded.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,174 @@
+//! A tiny `std::net::TcpStream` HTTP client for the service.
+//!
+//! Enough to drive every endpoint from integration tests and the CI smoke
+//! without `curl` semantics leaking into the test suite: one request per
+//! connection (matching the server's `Connection: close`), status + body
+//! out, everything else ignored.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What a request came back with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Whether the status is a success (2xx).
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Returns connection/read/write errors and malformed responses as
+/// `io::Error` (tests treat any of them as fatal).
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+
+    let body = body.unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    // The server closes after one response, so read to EOF and split.
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Splits a raw HTTP response into status code and body.
+fn parse_response(raw: &str) -> Option<ClientResponse> {
+    let (head, body) = raw.split_once("\r\n\r\n")?;
+    let status_line = head.lines().next()?;
+    let status = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(ClientResponse {
+        status,
+        body: body.to_owned(),
+    })
+}
+
+/// `GET path`.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(addr: impl ToSocketAddrs, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// Extracts the `"j<n>"` job name from a job status line (the body of a
+/// `POST /jobs` acknowledgement or the first line of `GET /jobs/<id>`).
+pub fn job_id(status_line: &str) -> Option<String> {
+    let marker = "\"id\":\"";
+    let start = status_line.find(marker)? + marker.len();
+    let end = status_line[start..].find('"')? + start;
+    Some(status_line[start..end].to_owned())
+}
+
+/// Polls `GET /jobs/<id>` until its status line reports `"done"`, returning
+/// the full final body (status line + result payload).
+///
+/// # Errors
+///
+/// Returns `TimedOut` when the deadline passes first, `InvalidData` on a
+/// non-200 answer, and any transport error from [`get`].
+pub fn poll_job_done(
+    addr: impl ToSocketAddrs + Copy,
+    id: &str,
+    timeout: Duration,
+) -> std::io::Result<String> {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let response = get(addr, &format!("/jobs/{id}"))?;
+        if response.status != 200 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "polling {id}: status {} ({})",
+                    response.status, response.body
+                ),
+            ));
+        }
+        let status_line = response.body.lines().next().unwrap_or_default();
+        if status_line.contains("\"state\":\"done\"") {
+            return Ok(response.body);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("job {id} not done within {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let response = parse_response(
+            "HTTP/1.1 202 Accepted\r\nContent-Type: application/x-ndjson\r\n\r\n{\"a\":1}\n",
+        )
+        .unwrap();
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body, "{\"a\":1}\n");
+        assert!(response.is_success());
+        assert!(!ClientResponse {
+            status: 404,
+            body: String::new()
+        }
+        .is_success());
+    }
+
+    #[test]
+    fn rejects_malformed_responses() {
+        assert!(parse_response("not http").is_none());
+        assert!(parse_response("HTTP/1.1\r\n\r\nbody").is_none());
+    }
+
+    #[test]
+    fn job_id_reads_the_status_line() {
+        assert_eq!(
+            job_id("{\"type\":\"job\",\"id\":\"j12\",\"state\":\"queued\"}").as_deref(),
+            Some("j12")
+        );
+        assert_eq!(job_id("{\"type\":\"error\"}"), None);
+    }
+}

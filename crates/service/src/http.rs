@@ -1,0 +1,316 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! Exactly the subset the experiment service needs: one request per
+//! connection (`Connection: close`), request bodies framed by
+//! `Content-Length`, responses framed the same way. Hand-rolled because the
+//! build environment is offline — no hyper, no tiny_http — and the service's
+//! protocol surface (five endpoints, small JSON/NDJSON payloads) does not
+//! justify more.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers, before the blank line.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Upper bound on a request body (job specs are tiny; this is a backstop).
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed HTTP request: method, path and (possibly empty) UTF-8 body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased request method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target as sent (path only; the service uses no queries).
+    pub path: String,
+    /// The request body, framed by `Content-Length` (empty if absent).
+    pub body: String,
+}
+
+/// An HTTP response about to be written: status, content type and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code (200, 202, 400, 404, 503, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` NDJSON response (the service's default content type).
+    pub fn ndjson(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+
+    /// An NDJSON response with an explicit status (e.g. `202 Accepted`).
+    pub fn ndjson_status(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+
+    /// A `200 OK` plain-text response (the `/metrics` snapshot).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+        }
+    }
+
+    /// An error response: one NDJSON line carrying the status and message.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "application/x-ndjson",
+            body: format!(
+                "{{\"type\":\"error\",\"status\":{status},\"error\":{}}}\n",
+                analysis::table::json_string(message)
+            ),
+        }
+    }
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Total time one request may take to arrive. The per-read socket timeout
+/// alone would let a trickle client (one byte every few seconds) hold a
+/// handler thread for hours — 64 of those exhaust the connection bound and
+/// deny the whole service; this deadline caps any handler's lifetime.
+pub const REQUEST_DEADLINE: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns the error *response* to send back: `413` when the head or body
+/// exceeds its size limit, `400` for every other framing problem
+/// (malformed request line, non-UTF-8 body, premature EOF, read timeout,
+/// the overall [`REQUEST_DEADLINE`] expiring).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let bad = |message: String| Response::error(400, &message);
+    let deadline = std::time::Instant::now() + REQUEST_DEADLINE;
+    let check_deadline = || {
+        if std::time::Instant::now() >= deadline {
+            Err(bad(format!(
+                "request not complete within {REQUEST_DEADLINE:?}"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    // Read until the head/body separator, then top up to Content-Length.
+    let mut buffer = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(Response::error(
+                413,
+                &format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        check_deadline()?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(bad("connection closed before request head".to_owned())),
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(bad(format!("read error: {e}"))),
+        }
+    };
+
+    let head = std::str::from_utf8(&buffer[..head_end])
+        .map_err(|_| bad("request head is not UTF-8".to_owned()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version)) if version.starts_with("HTTP/1") => {
+            (method.to_ascii_uppercase(), path.to_owned())
+        }
+        _ => return Err(bad(format!("malformed request line {request_line:?}"))),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad Content-Length {:?}", value.trim())))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(
+            413,
+            &format!("request body exceeds {MAX_BODY_BYTES} bytes"),
+        ));
+    }
+
+    let mut body = buffer[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        check_deadline()?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(bad("connection closed mid-body".to_owned())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(bad(format!("read error: {e}"))),
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| bad("request body is not UTF-8".to_owned()))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Index of the `\r\n\r\n` head/body separator, if present.
+fn find_head_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes `response` to `stream` with `Connection: close` framing.
+///
+/// # Errors
+///
+/// Returns any I/O error from the socket (a hung-up client is not fatal to
+/// the server; the caller logs and moves on).
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips one raw request through a real socket pair. The client
+    /// half-closes its write side after sending, so a request that claims
+    /// more body than it carries hits EOF instead of blocking the reader.
+    fn parse_raw(raw: &[u8]) -> Result<Request, Response> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(&raw).unwrap();
+            client.shutdown(std::net::Shutdown::Write).unwrap();
+            // Keep the socket open long enough for the reader to finish.
+            client
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        // Belt and braces: a buggy parser must fail the test, not hang it.
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let request = read_request(&mut stream);
+        drop(writer.join().unwrap());
+        request
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request =
+            parse_raw(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/jobs");
+        assert_eq!(request.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let request = parse_raw(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/metrics");
+        assert_eq!(request.body, "");
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert_eq!(parse_raw(b"NOT-HTTP\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_raw(b"GET /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse_raw(b"GET /x HTTP/1.1\r\nContent-Length: zz\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        // Size limits answer 413, distinguishable from malformed input.
+        assert_eq!(
+            parse_raw(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+    }
+
+    #[test]
+    fn response_framing_includes_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            let mut raw = String::new();
+            client.read_to_string(&mut raw).unwrap();
+            raw
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        write_response(&mut stream, &Response::ndjson("{\"x\":1}\n".to_owned())).unwrap();
+        drop(stream);
+        let raw = reader.join().unwrap();
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        assert!(raw.contains("Content-Length: 8\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("{\"x\":1}\n"));
+    }
+
+    #[test]
+    fn error_responses_are_one_ndjson_line() {
+        let response = Response::error(404, "no such job \"j9\"");
+        assert_eq!(response.status, 404);
+        assert_eq!(
+            response.body,
+            "{\"type\":\"error\",\"status\":404,\"error\":\"no such job \\\"j9\\\"\"}\n"
+        );
+        assert_eq!(reason(404), "Not Found");
+        assert_eq!(reason(599), "Unknown");
+    }
+}

@@ -1,0 +1,239 @@
+//! Per-endpoint request counters, job/queue gauges and the `/metrics` text
+//! rendering.
+//!
+//! Everything is a cheap relaxed atomic — recording a request is a handful
+//! of uncontended `fetch_add`s, so instrumentation never shows up next to
+//! the actual experiment work. The rendering is the conventional
+//! `name{label="value"} N` text format, one line per counter, so CI can
+//! assert on it with `grep` and a Prometheus scraper could ingest it as-is.
+
+use runner::pool::PoolStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The service endpoints that get their own request counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /` — the endpoint index.
+    Index,
+    /// `GET /scenarios`.
+    Scenarios,
+    /// `POST /jobs`.
+    JobsPost,
+    /// `GET /jobs/<id>`.
+    JobsGet,
+    /// `GET /results/<key>`.
+    Results,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /shutdown`.
+    Shutdown,
+    /// Anything else (unknown paths, unparsable requests).
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in rendering order.
+    pub const ALL: [Endpoint; 8] = [
+        Endpoint::Index,
+        Endpoint::Scenarios,
+        Endpoint::JobsPost,
+        Endpoint::JobsGet,
+        Endpoint::Results,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The stable label used in the `/metrics` rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Index => "index",
+            Endpoint::Scenarios => "scenarios",
+            Endpoint::JobsPost => "jobs_post",
+            Endpoint::JobsGet => "jobs_get",
+            Endpoint::Results => "results",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("listed in ALL")
+    }
+}
+
+/// Request/error/latency counters for one endpoint.
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_us: AtomicU64,
+}
+
+/// All service counters; one instance lives for the server's lifetime.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: [EndpointCounters; 8],
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_errored: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak_depth: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+impl Metrics {
+    /// Records one handled request: endpoint, response status and latency.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, latency_us: u64) {
+        let counters = &self.endpoints[endpoint.index()];
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        counters.latency_us.fetch_add(latency_us, Ordering::Relaxed);
+        if status >= 400 {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a job entering the queue (depth gauge + peak + submitted).
+    pub fn record_job_enqueued(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a job finishing (`errored` when ≥1 scenario failed).
+    pub fn record_job_finished(&self, errored: bool) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if errored {
+            self.jobs_errored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records result-cache lookups for one job.
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Current queue depth (queued + running jobs).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Renders the `/metrics` snapshot. `cache_entries` and `pool` are
+    /// sampled by the caller (they live outside this struct).
+    pub fn render(&self, cache_entries: usize, pool: &PoolStats) -> String {
+        let mut out = String::with_capacity(2048);
+        for endpoint in Endpoint::ALL {
+            let counters = &self.endpoints[endpoint.index()];
+            let label = endpoint.label();
+            out.push_str(&format!(
+                "service_http_requests_total{{endpoint=\"{label}\"}} {}\n",
+                counters.requests.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "service_http_errors_total{{endpoint=\"{label}\"}} {}\n",
+                counters.errors.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "service_http_latency_us_total{{endpoint=\"{label}\"}} {}\n",
+                counters.latency_us.load(Ordering::Relaxed)
+            ));
+        }
+        let gauge = |name: &str, value: u64| format!("{name} {value}\n");
+        out.push_str(&gauge(
+            "service_jobs_submitted_total",
+            self.jobs_submitted.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "service_jobs_completed_total",
+            self.jobs_completed.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "service_jobs_errored_total",
+            self.jobs_errored.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge("service_job_queue_depth", self.queue_depth()));
+        out.push_str(&gauge(
+            "service_job_queue_peak_depth",
+            self.queue_peak_depth.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "service_result_cache_hits_total",
+            self.cache_hits.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge(
+            "service_result_cache_misses_total",
+            self.cache_misses.load(Ordering::Relaxed),
+        ));
+        out.push_str(&gauge("service_result_cache_entries", cache_entries as u64));
+        out.push_str(&gauge("pool_tasks_queued_total", pool.tasks_queued));
+        out.push_str(&gauge("pool_tasks_completed_total", pool.tasks_completed));
+        out.push_str(&gauge("pool_tasks_panicked_total", pool.tasks_panicked));
+        out.push_str(&gauge("pool_steals_total", pool.steals));
+        out.push_str(&gauge("pool_queue_peak_depth", pool.peak_queue_depth));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counters_split_by_endpoint_and_status() {
+        let metrics = Metrics::default();
+        metrics.record_request(Endpoint::JobsPost, 202, 120);
+        metrics.record_request(Endpoint::JobsPost, 400, 30);
+        metrics.record_request(Endpoint::Metrics, 200, 10);
+        let text = metrics.render(0, &PoolStats::default());
+        assert!(text.contains("service_http_requests_total{endpoint=\"jobs_post\"} 2"));
+        assert!(text.contains("service_http_errors_total{endpoint=\"jobs_post\"} 1"));
+        assert!(text.contains("service_http_latency_us_total{endpoint=\"jobs_post\"} 150"));
+        assert!(text.contains("service_http_requests_total{endpoint=\"metrics\"} 1"));
+        assert!(text.contains("service_http_errors_total{endpoint=\"metrics\"} 0"));
+    }
+
+    #[test]
+    fn job_and_cache_counters_track_lifecycle() {
+        let metrics = Metrics::default();
+        metrics.record_job_enqueued();
+        metrics.record_job_enqueued();
+        assert_eq!(metrics.queue_depth(), 2);
+        metrics.record_job_finished(false);
+        metrics.record_job_finished(true);
+        metrics.record_cache(1, 3);
+        let text = metrics.render(3, &PoolStats::default());
+        assert!(text.contains("service_jobs_submitted_total 2"));
+        assert!(text.contains("service_jobs_completed_total 2"));
+        assert!(text.contains("service_jobs_errored_total 1"));
+        assert!(text.contains("service_job_queue_depth 0"));
+        assert!(text.contains("service_job_queue_peak_depth 2"));
+        assert!(text.contains("service_result_cache_hits_total 1"));
+        assert!(text.contains("service_result_cache_misses_total 3"));
+        assert!(text.contains("service_result_cache_entries 3"));
+    }
+
+    #[test]
+    fn pool_stats_appear_in_the_rendering() {
+        let metrics = Metrics::default();
+        let pool = PoolStats {
+            tasks_queued: 10,
+            tasks_completed: 9,
+            tasks_panicked: 1,
+            steals: 4,
+            queue_depth: 0,
+            peak_queue_depth: 8,
+        };
+        let text = metrics.render(0, &pool);
+        assert!(text.contains("pool_tasks_queued_total 10"));
+        assert!(text.contains("pool_tasks_panicked_total 1"));
+        assert!(text.contains("pool_steals_total 4"));
+        assert!(text.contains("pool_queue_peak_depth 8"));
+    }
+}
