@@ -13,6 +13,7 @@ use crate::common::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::policy::PolicyKind;
+use sim_cache::trace::TraceOp;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::SetLines;
 use sim_core::process::{AddressSpace, ProcessId};
@@ -84,33 +85,37 @@ impl LruChannel {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x14c4);
         let mut sender_accesses = 0u64;
 
-        // Warm all lines.
-        for &line in receiver_lines.lines() {
-            machine.read(RECEIVER, line);
-        }
+        // Warm all lines (batched; same order as before).
+        let warm: Vec<TraceOp> = receiver_lines
+            .lines()
+            .iter()
+            .map(|&l| TraceOp::read(l))
+            .collect();
+        machine.run_trace(RECEIVER, &warm);
         machine.read(SENDER, sender_line.line(0));
 
         let modulations = self.modulations_per_one;
         // Step 1 (Figure 8a): the receiver accesses lines 0-3.
+        let init_trace: Vec<TraceOp> = (0..w / 2)
+            .map(|i| TraceOp::read(receiver_lines.line(i)))
+            .collect();
         let init = |machine: &mut Machine| {
-            for i in 0..w / 2 {
-                machine.read(RECEIVER, receiver_lines.line(i));
-            }
+            machine.run_trace(RECEIVER, &init_trace);
         };
         // Step 2: the sender repeatedly accesses its own line to send a 1.
+        let encode_trace: Vec<TraceOp> = vec![TraceOp::read(sender_line.line(0)); modulations];
         let encode = |machine: &mut Machine, bit: bool, accesses: &mut u64| {
             if bit {
-                for _ in 0..modulations {
-                    machine.read(SENDER, sender_line.line(0));
-                    *accesses += 1;
-                }
+                machine.run_trace(SENDER, &encode_trace);
+                *accesses += encode_trace.len() as u64;
             }
         };
         // Step 4: the receiver accesses lines 4-7 and times line 0.
+        let second_half: Vec<TraceOp> = (w / 2..w)
+            .map(|i| TraceOp::read(receiver_lines.line(i)))
+            .collect();
         let decode = |machine: &mut Machine| -> u64 {
-            for i in w / 2..w {
-                machine.read(RECEIVER, receiver_lines.line(i));
-            }
+            machine.run_trace(RECEIVER, &second_half);
             machine.measured_read(RECEIVER, receiver_lines.line(0)).0
         };
 

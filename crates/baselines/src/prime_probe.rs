@@ -13,6 +13,7 @@ use crate::common::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::policy::PolicyKind;
+use sim_cache::trace::TraceOp;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::SetLines;
 use sim_core::process::{AddressSpace, ProcessId};
@@ -81,23 +82,31 @@ impl PrimeProbe {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9a9a);
         let mut sender_accesses = 0u64;
 
-        // Warm everything.
-        for &line in prime_lines.lines().iter().chain(sender_lines.lines()) {
-            machine.read(RECEIVER, line);
-        }
+        // Warm everything (one batched trace; same order as before).
+        let warm: Vec<TraceOp> = prime_lines
+            .lines()
+            .iter()
+            .chain(sender_lines.lines())
+            .map(|&l| TraceOp::read(l))
+            .collect();
+        machine.run_trace(RECEIVER, &warm);
 
         let lines_per_one = self.sender_lines_per_one;
+        let encode_trace: Vec<TraceOp> = (0..lines_per_one)
+            .map(|i| TraceOp::read(sender_lines.line(i)))
+            .collect();
         let prime = |machine: &mut Machine, rng: &mut StdRng| {
-            for line in prime_lines.shuffled(rng) {
-                machine.read(RECEIVER, line);
-            }
+            let ops: Vec<TraceOp> = prime_lines
+                .shuffled(rng)
+                .into_iter()
+                .map(TraceOp::read)
+                .collect();
+            machine.run_trace(RECEIVER, &ops);
         };
         let encode = |machine: &mut Machine, bit: bool, accesses: &mut u64| {
             if bit {
-                for i in 0..lines_per_one {
-                    machine.read(SENDER, sender_lines.line(i));
-                    *accesses += 1;
-                }
+                machine.run_trace(SENDER, &encode_trace);
+                *accesses += encode_trace.len() as u64;
             }
         };
         let probe = |machine: &mut Machine, rng: &mut StdRng| -> u64 {

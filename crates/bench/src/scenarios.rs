@@ -45,6 +45,14 @@ fn err(error: Error) -> String {
     error.to_string()
 }
 
+/// Attaches a channel session's cumulative simulated-work counters to a
+/// point output (the session-backed scenarios all report them the same way).
+fn with_sim_usage(mut output: PointOutput, usage: wb_channel::session::SimUsage) -> PointOutput {
+    output.sim_cycles = usage.cycles();
+    output.sim_accesses = usage.accesses();
+    output
+}
+
 fn assemble_rows(title: &str, headers: &[&str], outputs: &[PointOutput]) -> Table {
     let mut table = Table::new(title, headers);
     table.extend_rows(outputs.iter().flat_map(|o| o.rows.iter().cloned()));
@@ -231,6 +239,7 @@ fn fig4_point(ctx: &PointCtx) -> Result<PointOutput, String> {
         rows: vec![vec![d.to_string(), q(0.25), q(0.5), q(0.75), q(0.95)]],
         values: Vec::new(),
         aux: vec![("fig4_cdf_points".to_owned(), raw)],
+        ..PointOutput::default()
     })
 }
 
@@ -310,12 +319,15 @@ fn traces_point(ctx: &PointCtx) -> Result<PointOutput, String> {
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xbeef);
     let payload: Vec<bool> = (0..payload_bits).map(|_| rng.gen()).collect();
     let report = channel.transmit_bits(&payload).map_err(err)?;
-    Ok(PointOutput::row([
-        label.to_owned(),
-        fixed(report.rate_kbps, 0),
-        report.edit_distance.to_string(),
-        percent2(report.bit_error_rate()),
-    ]))
+    Ok(with_sim_usage(
+        PointOutput::row([
+            label.to_owned(),
+            fixed(report.rate_kbps, 0),
+            report.edit_distance.to_string(),
+            percent2(report.bit_error_rate()),
+        ]),
+        channel.sim_usage(),
+    ))
 }
 
 fn traces_assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {
@@ -385,12 +397,15 @@ fn fig6_point(ctx: &PointCtx) -> Result<PointOutput, String> {
         .map_err(err)?;
     let mut channel = CovertChannel::new(config).map_err(err)?;
     let report = channel.evaluate(frames, frame_bits).map_err(err)?;
-    Ok(PointOutput::row([
-        label,
-        period.to_string(),
-        fixed(report.rate_kbps, 0),
-        percent2(report.mean_bit_error_rate),
-    ]))
+    Ok(with_sim_usage(
+        PointOutput::row([
+            label,
+            period.to_string(),
+            fixed(report.rate_kbps, 0),
+            percent2(report.mean_bit_error_rate),
+        ]),
+        channel.sim_usage(),
+    ))
 }
 
 fn fig6_assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {
@@ -691,18 +706,21 @@ fn bandwidth_point(ctx: &PointCtx) -> Result<PointOutput, String> {
     let report = channel
         .evaluate(ctx.scale.sizes().frames, 128 * bits)
         .map_err(err)?;
-    Ok(PointOutput::row([
-        encoding.to_string(),
-        period.to_string(),
-        fixed(rate_kbps(bits, period, CLOCK_GHZ), 0),
-        percent2(report.mean_bit_error_rate),
-        if report.mean_bit_error_rate < 0.05 {
-            "yes"
-        } else {
-            "no"
-        }
-        .to_owned(),
-    ]))
+    Ok(with_sim_usage(
+        PointOutput::row([
+            encoding.to_string(),
+            period.to_string(),
+            fixed(rate_kbps(bits, period, CLOCK_GHZ), 0),
+            percent2(report.mean_bit_error_rate),
+            if report.mean_bit_error_rate < 0.05 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
+        ]),
+        channel.sim_usage(),
+    ))
 }
 
 fn bandwidth_assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {

@@ -143,11 +143,12 @@ impl Bench {
         self.sweep();
     }
 
-    /// The sender puts `d` of its lines into the dirty state (Algorithm 1).
-    fn encode(&mut self, d: usize) {
-        for i in 0..d {
-            self.machine.write(SENDER_DOMAIN, self.sender_lines.line(i));
-        }
+    /// The encoding burst for `d` dirty lines, built once per measurement
+    /// loop and replayed through the batch engine (Algorithm 1).
+    fn encode_trace(&self, d: usize) -> Vec<TraceOp> {
+        (0..d)
+            .map(|i| TraceOp::write(self.sender_lines.line(i)))
+            .collect()
     }
 
     /// One measured replacement-set sweep (Algorithm 2's decoding phase),
@@ -180,9 +181,10 @@ pub fn replacement_latency_samples(
         });
     }
     bench.warm();
+    let encode = bench.encode_trace(d);
     let mut samples = Vec::with_capacity(config.samples_per_level);
     for _ in 0..config.samples_per_level {
-        bench.encode(d);
+        bench.machine.run_trace(SENDER_DOMAIN, &encode);
         samples.push(bench.sweep());
     }
     Ok(samples)

@@ -1,35 +1,25 @@
 //! End-to-end covert-channel orchestration.
 //!
-//! [`CovertChannel`] wires a [`crate::sender::WbSender`] and a
-//! [`crate::receiver::WbReceiver`] onto the two hardware threads of a
-//! simulated [`sim_core::machine::Machine`], runs the transmission, decodes
-//! the receiver's latency trace with calibrated thresholds and scores the
-//! result with the edit distance — the full pipeline behind the paper's
-//! Figures 5–7 and the bandwidth/error-rate numbers of Section V.
+//! [`CovertChannel`] is the classic top-level API around a
+//! [`crate::session::ChannelSession`]: every transmission is *compiled* onto
+//! the batched trace engine (sender, receiver and noise programs interleaved
+//! by [`sim_core::machine::Machine::run_session`]), then decoded with the
+//! calibrated thresholds and scored with the edit distance — the full
+//! pipeline behind the paper's Figures 5–7 and the bandwidth/error-rate
+//! numbers of Section V.  The per-access actor-stepping transmit loop
+//! survives only as the equivalence-reference backend of the session layer
+//! (see [`crate::session::Backend`]).
 
-use crate::calibration::{calibrate_decoder, CalibrationConfig};
-use crate::capacity::{rate_kbps, RatePoint};
+use crate::capacity::RatePoint;
 use crate::encoding::SymbolEncoding;
 use crate::error::Error;
-use crate::protocol::{align_and_score, Decoder, Frame};
-use crate::receiver::WbReceiver;
-use crate::sender::WbSender;
+use crate::protocol::{Decoder, Frame};
+use crate::session::{ChannelSession, SimUsage};
 use analysis::edit_distance::ErrorBreakdown;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sim_cache::policy::PolicyKind;
-use sim_core::machine::{Machine, MachineConfig};
-use sim_core::memlayout::{ChannelLayout, SetLines};
-use sim_core::noise::NoisyNeighbor;
-use sim_core::process::{AddressSpace, ProcessId};
-use sim_core::program::Actor;
+use sim_core::machine::MachineConfig;
 use sim_core::sched::InterruptConfig;
 use sim_core::tsc::TscConfig;
-
-/// Domains of the two covert-channel parties and the optional noise process.
-const RECEIVER_DOMAIN: u16 = 1;
-const SENDER_DOMAIN: u16 = 2;
-const NOISE_DOMAIN: u16 = 3;
 
 /// Configuration of a noisy-neighbour process running alongside the channel
 /// (Sec. VI / Figure 8).
@@ -88,7 +78,7 @@ impl ChannelConfig {
         ChannelConfigBuilder::new()
     }
 
-    fn machine_config(&self, seed: u64) -> MachineConfig {
+    pub(crate) fn machine_config(&self, seed: u64) -> MachineConfig {
         let mut machine = MachineConfig::xeon_e5_2650(self.policy, seed);
         machine.interrupts = self.interrupts;
         machine.tsc = self.tsc;
@@ -261,7 +251,7 @@ pub struct TransmissionReport {
     /// Per-error-type breakdown.
     pub breakdown: ErrorBreakdown,
     /// Bit error rate (edit distance / sent bits).
-    bit_error_rate: f64,
+    pub(crate) bit_error_rate: f64,
     /// Achieved transmission rate in kbps.
     pub rate_kbps: f64,
 }
@@ -294,10 +284,7 @@ pub struct EvaluationReport {
 /// The end-to-end WB covert channel.
 #[derive(Debug)]
 pub struct CovertChannel {
-    config: ChannelConfig,
-    decoder: Decoder,
-    rng: StdRng,
-    frames_sent: u64,
+    session: ChannelSession,
 }
 
 impl CovertChannel {
@@ -308,30 +295,24 @@ impl CovertChannel {
     ///
     /// Returns configuration or calibration errors.
     pub fn new(config: ChannelConfig) -> Result<CovertChannel, Error> {
-        let calibration = CalibrationConfig {
-            machine: config.machine_config(config.seed ^ 0xca11),
-            target_set: config.target_set,
-            replacement_size: config.replacement_size,
-            samples_per_level: config.calibration_samples,
-            seed: config.seed ^ 0xca11,
-        };
-        let decoder = calibrate_decoder(&calibration, &config.encoding)?;
         Ok(CovertChannel {
-            rng: StdRng::seed_from_u64(config.seed ^ 0xc0de),
-            decoder,
-            config,
-            frames_sent: 0,
+            session: ChannelSession::new(config)?,
         })
     }
 
     /// The channel configuration.
     pub fn config(&self) -> &ChannelConfig {
-        &self.config
+        self.session.config()
     }
 
     /// The calibrated decoder.
     pub fn decoder(&self) -> &Decoder {
-        &self.decoder
+        self.session.decoder()
+    }
+
+    /// Cumulative simulated-work counters of the underlying session.
+    pub fn sim_usage(&self) -> SimUsage {
+        self.session.sim_usage()
     }
 
     /// Transmits an arbitrary payload (the 16-bit preamble is prepended) and
@@ -341,8 +322,7 @@ impl CovertChannel {
     ///
     /// Returns machine-construction errors.
     pub fn transmit_bits(&mut self, payload: &[bool]) -> Result<TransmissionReport, Error> {
-        let frame = Frame::from_payload(payload);
-        self.transmit_frame(&frame)
+        self.session.transmit_bits(payload)
     }
 
     /// Transmits one frame and reports the outcome.
@@ -351,95 +331,7 @@ impl CovertChannel {
     ///
     /// Returns machine-construction errors.
     pub fn transmit_frame(&mut self, frame: &Frame) -> Result<TransmissionReport, Error> {
-        self.frames_sent += 1;
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9e37_79b9)
-            .wrapping_add(self.frames_sent);
-        let mut machine = Machine::new(self.config.machine_config(seed))?;
-        let geometry = machine.l1_geometry();
-
-        let receiver_layout = ChannelLayout::build(
-            AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
-            geometry,
-            self.config.target_set,
-            geometry.associativity,
-            self.config.replacement_size,
-        );
-        let sender_lines = SetLines::build(
-            AddressSpace::new(ProcessId(SENDER_DOMAIN)),
-            geometry,
-            self.config.target_set,
-            geometry.associativity,
-            0,
-        );
-
-        let symbols = self.config.encoding.bits_to_symbols(frame.bits());
-        let symbol_count = symbols.len();
-        // Rendezvous time agreed by both parties: generously after the
-        // receiver's initialisation phase (28 cold loads) has finished.
-        let epoch = 50_000u64;
-        let mut sender = WbSender::new(
-            SENDER_DOMAIN,
-            sender_lines,
-            self.config.encoding.clone(),
-            symbols,
-            self.config.period_cycles,
-        )
-        .with_start_epoch(epoch);
-        // A few extra samples so that losses at the end can still be seen.
-        let max_samples = symbol_count + 4;
-        let mut receiver = WbReceiver::with_default_phase(
-            RECEIVER_DOMAIN,
-            receiver_layout,
-            self.config.period_cycles,
-            max_samples,
-            seed,
-        )
-        .with_start_epoch(epoch);
-
-        let limit = epoch + (max_samples as u64 + 8) * self.config.period_cycles + 200_000;
-        let mut noise_actor = self.config.noise.map(|n| {
-            NoisyNeighbor::new(
-                AddressSpace::new(ProcessId(NOISE_DOMAIN)),
-                geometry,
-                self.config.target_set,
-                n.lines,
-                n.interval,
-                n.store_fraction,
-                NOISE_DOMAIN,
-                seed ^ 0x6e6f,
-            )
-        });
-
-        {
-            let mut actors: Vec<&mut dyn Actor> = vec![&mut sender, &mut receiver];
-            if let Some(noise) = noise_actor.as_mut() {
-                actors.push(noise);
-            }
-            machine.run(&mut actors, limit);
-        }
-
-        let latencies = receiver.latencies();
-        let decoded = self.decoder.bits(&latencies);
-        let max_shift = 4 * self.config.encoding.bits_per_symbol();
-        let alignment = align_and_score(frame.bits(), &decoded, max_shift);
-
-        Ok(TransmissionReport {
-            sent_bits: frame.bits().to_vec(),
-            received_bits: alignment.aligned_bits,
-            latencies,
-            alignment_offset: alignment.offset,
-            edit_distance: alignment.edit_distance,
-            breakdown: alignment.breakdown,
-            bit_error_rate: alignment.bit_error_rate,
-            rate_kbps: rate_kbps(
-                self.config.encoding.bits_per_symbol(),
-                self.config.period_cycles,
-                2.2,
-            ),
-        })
+        self.session.transmit_frame(frame)
     }
 
     /// Transmits `frames` random frames of `bits_per_frame` bits each and
@@ -453,36 +345,7 @@ impl CovertChannel {
         frames: usize,
         bits_per_frame: usize,
     ) -> Result<EvaluationReport, Error> {
-        let mut total_ber = 0.0;
-        let mut max_ber: f64 = 0.0;
-        for _ in 0..frames {
-            let frame = Frame::random(bits_per_frame, &mut self.rng);
-            let report = self.transmit_frame(&frame)?;
-            total_ber += report.bit_error_rate();
-            max_ber = max_ber.max(report.bit_error_rate());
-        }
-        let mean = if frames == 0 {
-            0.0
-        } else {
-            total_ber / frames as f64
-        };
-        let rate = rate_kbps(
-            self.config.encoding.bits_per_symbol(),
-            self.config.period_cycles,
-            2.2,
-        );
-        Ok(EvaluationReport {
-            frames,
-            bits_per_frame,
-            mean_bit_error_rate: mean,
-            max_bit_error_rate: max_ber,
-            rate_kbps: rate,
-            rate_point: RatePoint {
-                period_cycles: self.config.period_cycles,
-                rate_kbps: rate,
-                bit_error_rate: mean,
-            },
-        })
+        self.session.evaluate(frames, bits_per_frame)
     }
 }
 

@@ -16,6 +16,7 @@
 //! | [`receiver`] | Algorithm 2 + the receiver half of Algorithm 3 |
 //! | [`protocol`] | framing, 16-bit preamble, latency decoding, edit-distance scoring |
 //! | [`channel`] | end-to-end transmissions (Figures 5–7, Section V bandwidths) |
+//! | [`session`] | the compile→execute→decode transmit engine on the batched trace executor |
 //! | [`calibration`] | Table IV access-latency classes, Figure 4 CDFs, threshold training |
 //! | [`eviction`] | Table II replacement-set sizing, Table V random replacement |
 //! | [`capacity`] | cycle-period ↔ kbps conversions (2.2 GHz clock) |
@@ -24,9 +25,14 @@
 //!
 //! ## Quickstart
 //!
+//! Transmissions run through the session layer ([`session::ChannelSession`]):
+//! each frame is compiled into per-domain trace programs and executed by the
+//! batched session executor.
+//!
 //! ```rust
-//! use wb_channel::channel::{ChannelConfig, CovertChannel};
 //! use wb_channel::encoding::SymbolEncoding;
+//! use wb_channel::channel::ChannelConfig;
+//! use wb_channel::session::ChannelSession;
 //! use sim_core::sched::InterruptConfig;
 //! use sim_core::tsc::TscConfig;
 //!
@@ -40,10 +46,11 @@
 //!     .tsc(TscConfig::ideal())
 //!     .calibration_samples(40)
 //!     .build()?;
-//! let mut channel = CovertChannel::new(config)?;
+//! let mut session = ChannelSession::new(config)?;
 //! let secret = [true, false, true, true, false, false, true, false];
-//! let report = channel.transmit_bits(&secret)?;
+//! let report = session.transmit_bits(&secret)?;
 //! assert_eq!(report.bit_error_rate(), 0.0);
+//! assert!(session.sim_usage().accesses() > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -60,6 +67,7 @@ pub mod eviction;
 pub mod protocol;
 pub mod receiver;
 pub mod sender;
+pub mod session;
 pub mod side_channel;
 pub mod stealth;
 
@@ -68,6 +76,7 @@ mod error;
 pub use channel::{ChannelConfig, CovertChannel, EvaluationReport, TransmissionReport};
 pub use encoding::SymbolEncoding;
 pub use error::Error;
+pub use session::ChannelSession;
 
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {
@@ -81,4 +90,5 @@ pub mod prelude {
     pub use crate::protocol::{Decoder, Frame};
     pub use crate::receiver::WbReceiver;
     pub use crate::sender::WbSender;
+    pub use crate::session::{Backend, ChannelSession, SimUsage};
 }

@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use sim_cache::line::DomainId;
 use sim_core::memlayout::ChannelLayout;
 use sim_core::program::{Action, Actor, Completion};
+use sim_core::session::TraceProgram;
 
 /// One latency observation made by the receiver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +54,9 @@ pub struct WbReceiver {
     init_idx: usize,
     decode_count: u64,
     t_last: u64,
+    /// The seed the shuffle stream derives from (kept so [`WbReceiver::compile`]
+    /// can replay the identical stream from the start).
+    seed: u64,
     rng: StdRng,
     /// Cycle at which the sender's first period starts; the first sample is
     /// taken `phase` cycles after this rendezvous point.
@@ -83,6 +87,7 @@ impl WbReceiver {
             init_idx: 0,
             decode_count: 0,
             t_last: 0,
+            seed,
             rng: StdRng::seed_from_u64(seed ^ 0x7265_6376),
             start_at: 0,
         }
@@ -106,6 +111,47 @@ impl WbReceiver {
     ) -> WbReceiver {
         let phase = period / 2;
         WbReceiver::new(domain, layout, period, phase, max_samples, seed)
+    }
+
+    /// Compiles the receiver's full sampling schedule into a
+    /// [`TraceProgram`] for [`sim_core::machine::Machine::run_session`].
+    ///
+    /// The program issues exactly the action sequence this actor's
+    /// [`Actor::next_action`] state machine would produce from its fresh
+    /// state (call `compile` before driving the actor): the initialisation
+    /// loads (warm both replacement sets, then fill the target set), the
+    /// first-sample alignment wait, and per sample a measured pointer chase
+    /// over the alternating shuffled replacement sets followed by the period
+    /// wait anchored at the chase's issue time.  The shuffle stream is
+    /// replayed from the constructor's seed, so the chase orders match the
+    /// actor's decode-time draws.
+    pub fn compile(&self) -> TraceProgram {
+        let mut program = TraceProgram::new(self.name.clone(), self.domain);
+        if self.max_samples == 0 {
+            // The actor retires immediately without initialising.
+            return program;
+        }
+        program.ops(
+            self.layout
+                .replacement_a
+                .lines()
+                .iter()
+                .chain(self.layout.replacement_b.lines())
+                .chain(self.layout.target_lines.lines())
+                .map(|&addr| sim_cache::trace::TraceOp::read(addr)),
+        );
+        program.wait_floor(self.start_at, self.phase);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7265_6376);
+        for sample in 0..self.max_samples {
+            program.anchor();
+            let replacement = self.layout.replacement_for(sample as u64);
+            let order = replacement.shuffled(&mut rng);
+            program.chase(&order);
+            if sample + 1 < self.max_samples {
+                program.wait_anchor(self.period);
+            }
+        }
+        program
     }
 
     /// The latency samples collected so far.

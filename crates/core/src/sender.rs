@@ -8,8 +8,10 @@
 
 use crate::encoding::SymbolEncoding;
 use sim_cache::line::DomainId;
+use sim_cache::trace::TraceOp;
 use sim_core::memlayout::SetLines;
 use sim_core::program::{Action, Actor, Completion};
+use sim_core::session::TraceProgram;
 
 /// The sender state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +123,50 @@ impl WbSender {
         self.spin_lines = Some(lines);
         self.spin_loads_per_period = loads_per_period;
         self
+    }
+
+    /// Compiles the sender's full transmission into a [`TraceProgram`] for
+    /// [`sim_core::machine::Machine::run_session`].
+    ///
+    /// The program issues exactly the action sequence this actor's
+    /// [`Actor::next_action`] state machine would produce from its fresh
+    /// state (call `compile` before driving the actor): the rendezvous wait,
+    /// then per symbol the `d` encoding stores, the optional spin-loop
+    /// loads, and the period wait anchored at the period's first action —
+    /// the `Tlast` discipline of Algorithm 3.
+    ///
+    /// The compiled rendezvous assumes the session starts at a machine time
+    /// of at most [`WbSender::with_start_epoch`]'s epoch (a fresh machine
+    /// starts at cycle zero), matching how transmissions construct their
+    /// machines.
+    pub fn compile(&self) -> TraceProgram {
+        let mut program = TraceProgram::new(self.name.clone(), self.domain);
+        if self.start_at > 0 {
+            // `Tlast` is the epoch itself, however late the wait completes.
+            program.wait_epoch(self.start_at);
+        } else {
+            // `Tlast` is the time the first action issues.
+            program.anchor();
+        }
+        for (index, &symbol) in self.symbols.iter().enumerate() {
+            if index > 0 {
+                // Each later period re-reads `Tlast` when its first action
+                // issues (the post-wait `next_action` call of the actor).
+                program.anchor();
+            }
+            let d = self.encoding.dirty_lines_for(symbol);
+            program.ops((0..d).map(|i| TraceOp::write(self.target_lines.line(i))));
+            if let Some(spin) = &self.spin_lines {
+                if !spin.is_empty() {
+                    program.ops(
+                        (0..self.spin_loads_per_period)
+                            .map(|i| TraceOp::read(spin.line(i % spin.len()))),
+                    );
+                }
+            }
+            program.wait_anchor(self.period);
+        }
+        program
     }
 
     /// Number of symbols fully transmitted so far.

@@ -1,0 +1,420 @@
+//! The channel session: frame transmissions compiled onto the batched trace
+//! engine.
+//!
+//! [`ChannelSession`] is the transmit engine behind [`crate::channel`].  For
+//! every frame it *compiles* the whole transmission — the sender's
+//! per-symbol store bursts, the receiver's initialisation loads, measured
+//! sweeps and period waits, and any noisy-neighbour schedule — into
+//! [`sim_core::session::TraceProgram`]s and executes them through
+//! [`sim_core::machine::Machine::run_session`], the interleaved batched
+//! executor.  The per-access actor stepping loop
+//! ([`sim_core::machine::Machine::run`] over [`crate::sender::WbSender`] /
+//! [`crate::receiver::WbReceiver`]) survives as the *reference backend*
+//! ([`Backend::Stepped`]): the compiled path is required — and tested — to
+//! produce bit-identical [`TransmissionReport`]s, it is just much faster,
+//! because transmitting a frame no longer pays a virtual dispatch, a
+//! `Completion` allocation and per-access perf bookkeeping for every one of
+//! the frame's thousands of memory operations.
+//!
+//! ```text
+//!   compile                 execute                      decode
+//!   ───────►  TraceProgram  ───────►  latency samples  ────────►  bits
+//!   sender     (per domain)  Machine::run_session        Decoder    +
+//!   receiver                 (sched/tsc/noise applied)   align    score
+//!   noise
+//! ```
+
+use crate::calibration::{calibrate_decoder, CalibrationConfig};
+use crate::capacity::{rate_kbps, RatePoint};
+use crate::channel::{ChannelConfig, EvaluationReport, TransmissionReport};
+use crate::error::Error;
+use crate::protocol::Decoder;
+use crate::protocol::{align_and_score, Frame};
+use crate::receiver::WbReceiver;
+use crate::sender::WbSender;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim_cache::trace::TraceSummary;
+use sim_core::machine::Machine;
+use sim_core::memlayout::{ChannelLayout, SetLines};
+use sim_core::noise::NoisyNeighbor;
+use sim_core::process::{AddressSpace, ProcessId};
+use sim_core::program::Actor;
+
+/// Domains of the two covert-channel parties and the optional noise process.
+pub(crate) const RECEIVER_DOMAIN: u16 = 1;
+pub(crate) const SENDER_DOMAIN: u16 = 2;
+pub(crate) const NOISE_DOMAIN: u16 = 3;
+
+/// Which transmit engine executes a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Compile the frame into trace programs and run them through
+    /// [`sim_core::machine::Machine::run_session`] — the default.
+    Compiled,
+    /// Step the [`WbSender`] / [`WbReceiver`] actors through
+    /// [`sim_core::machine::Machine::run`] — the reference path the
+    /// equivalence tests compare against.
+    Stepped,
+}
+
+/// Cumulative simulated-work counters of a session, sourced from the
+/// executed programs' [`TraceSummary`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimUsage {
+    /// Frames transmitted.
+    pub frames: u64,
+    /// Aggregate of every memory operation simulated across all frames
+    /// (sender, receiver and noise domains combined).
+    pub summary: TraceSummary,
+}
+
+impl SimUsage {
+    /// Total simulated cycles attributed to memory operations.
+    pub fn cycles(&self) -> u64 {
+        self.summary.cycles
+    }
+
+    /// Total simulated demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.summary.accesses()
+    }
+}
+
+/// The end-to-end WB covert-channel session: calibration, per-frame
+/// compilation, execution and decoding.
+#[derive(Debug)]
+pub struct ChannelSession {
+    config: ChannelConfig,
+    decoder: Decoder,
+    rng: StdRng,
+    frames_sent: u64,
+    sim: SimUsage,
+    /// The transmit machine, reset (not reallocated) between frames.
+    machine: Option<Machine>,
+}
+
+impl ChannelSession {
+    /// Builds the session and calibrates the receiver's decision thresholds
+    /// on a machine identical to the one the transmissions will use.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration or calibration errors.
+    pub fn new(config: ChannelConfig) -> Result<ChannelSession, Error> {
+        let calibration = CalibrationConfig {
+            machine: config.machine_config(config.seed ^ 0xca11),
+            target_set: config.target_set,
+            replacement_size: config.replacement_size,
+            samples_per_level: config.calibration_samples,
+            seed: config.seed ^ 0xca11,
+        };
+        let decoder = calibrate_decoder(&calibration, &config.encoding)?;
+        Ok(ChannelSession {
+            rng: StdRng::seed_from_u64(config.seed ^ 0xc0de),
+            decoder,
+            config,
+            frames_sent: 0,
+            sim: SimUsage::default(),
+            machine: None,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.config
+    }
+
+    /// The calibrated decoder.
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// Cumulative simulated-work counters over every frame transmitted so
+    /// far (compiled backend only; the stepped reference backend reports the
+    /// same transmissions but is not instrumented).
+    pub fn sim_usage(&self) -> SimUsage {
+        self.sim
+    }
+
+    /// Draws a random frame payload from the session's payload stream.
+    pub(crate) fn random_frame(&mut self, bits: usize) -> Frame {
+        Frame::random(bits, &mut self.rng)
+    }
+
+    /// Transmits an arbitrary payload (the 16-bit preamble is prepended).
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn transmit_bits(&mut self, payload: &[bool]) -> Result<TransmissionReport, Error> {
+        let frame = Frame::from_payload(payload);
+        self.transmit_frame(&frame)
+    }
+
+    /// Transmits one frame through the compiled backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn transmit_frame(&mut self, frame: &Frame) -> Result<TransmissionReport, Error> {
+        self.transmit_frame_with(frame, Backend::Compiled)
+    }
+
+    /// Transmits `frames` random frames of `bits_per_frame` bits each and
+    /// aggregates the error statistics (one point of the paper's Figure 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn evaluate(
+        &mut self,
+        frames: usize,
+        bits_per_frame: usize,
+    ) -> Result<EvaluationReport, Error> {
+        let mut total_ber = 0.0;
+        let mut max_ber: f64 = 0.0;
+        for _ in 0..frames {
+            let frame = self.random_frame(bits_per_frame);
+            let report = self.transmit_frame(&frame)?;
+            total_ber += report.bit_error_rate();
+            max_ber = max_ber.max(report.bit_error_rate());
+        }
+        let mean = if frames == 0 {
+            0.0
+        } else {
+            total_ber / frames as f64
+        };
+        let rate = rate_kbps(
+            self.config.encoding.bits_per_symbol(),
+            self.config.period_cycles,
+            2.2,
+        );
+        Ok(EvaluationReport {
+            frames,
+            bits_per_frame,
+            mean_bit_error_rate: mean,
+            max_bit_error_rate: max_ber,
+            rate_kbps: rate,
+            rate_point: RatePoint {
+                period_cycles: self.config.period_cycles,
+                rate_kbps: rate,
+                bit_error_rate: mean,
+            },
+        })
+    }
+
+    /// Transmits one frame through the chosen backend.
+    ///
+    /// Both backends draw the same per-frame seed from the session's frame
+    /// counter, so transmitting the same frames in the same order through
+    /// either backend produces identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns machine-construction errors.
+    pub fn transmit_frame_with(
+        &mut self,
+        frame: &Frame,
+        backend: Backend,
+    ) -> Result<TransmissionReport, Error> {
+        self.frames_sent += 1;
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(self.frames_sent);
+        // Each frame runs on a machine in the exact state `Machine::new`
+        // would produce for the frame seed; across frames the arenas are
+        // reused via `Machine::reset` instead of reallocated.
+        let machine_config = self.config.machine_config(seed);
+        let machine = match self.machine.as_mut() {
+            Some(machine) => {
+                machine.reset(machine_config)?;
+                machine
+            }
+            None => self.machine.insert(Machine::new(machine_config)?),
+        };
+        let geometry = machine.l1_geometry();
+
+        let receiver_layout = ChannelLayout::build(
+            AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+            geometry,
+            self.config.target_set,
+            geometry.associativity,
+            self.config.replacement_size,
+        );
+        let sender_lines = SetLines::build(
+            AddressSpace::new(ProcessId(SENDER_DOMAIN)),
+            geometry,
+            self.config.target_set,
+            geometry.associativity,
+            0,
+        );
+
+        let symbols = self.config.encoding.bits_to_symbols(frame.bits());
+        let symbol_count = symbols.len();
+        // Rendezvous time agreed by both parties: generously after the
+        // receiver's initialisation phase (28 cold loads) has finished.
+        let epoch = 50_000u64;
+        let sender = WbSender::new(
+            SENDER_DOMAIN,
+            sender_lines,
+            self.config.encoding.clone(),
+            symbols,
+            self.config.period_cycles,
+        )
+        .with_start_epoch(epoch);
+        // A few extra samples so that losses at the end can still be seen.
+        let max_samples = symbol_count + 4;
+        let receiver = WbReceiver::with_default_phase(
+            RECEIVER_DOMAIN,
+            receiver_layout,
+            self.config.period_cycles,
+            max_samples,
+            seed,
+        )
+        .with_start_epoch(epoch);
+
+        let limit = epoch + (max_samples as u64 + 8) * self.config.period_cycles + 200_000;
+        let noise = self.config.noise.map(|n| {
+            NoisyNeighbor::new(
+                AddressSpace::new(ProcessId(NOISE_DOMAIN)),
+                geometry,
+                self.config.target_set,
+                n.lines,
+                n.interval,
+                n.store_fraction,
+                NOISE_DOMAIN,
+                seed ^ 0x6e6f,
+            )
+        });
+
+        let latencies = match backend {
+            Backend::Compiled => {
+                // Compile every party; the program order (sender, receiver,
+                // noise) mirrors the actor order of the stepped path, so the
+                // machine's RNG stream is consumed identically.
+                let mut programs = vec![sender.compile(), receiver.compile()];
+                if let Some(noise) = &noise {
+                    programs.push(noise.compile(limit));
+                }
+                let report = machine.run_session(&programs, &mut [], limit);
+                self.sim.frames += 1;
+                self.sim.summary.merge(&report.total_summary());
+                report.programs[1].latencies()
+            }
+            Backend::Stepped => {
+                let mut sender = sender;
+                let mut receiver = receiver;
+                let mut noise = noise;
+                let mut actors: Vec<&mut dyn Actor> = vec![&mut sender, &mut receiver];
+                if let Some(noise) = noise.as_mut() {
+                    actors.push(noise);
+                }
+                machine.run(&mut actors, limit);
+                receiver.latencies()
+            }
+        };
+
+        let decoded = self.decoder.bits(&latencies);
+        let max_shift = 4 * self.config.encoding.bits_per_symbol();
+        let alignment = align_and_score(frame.bits(), &decoded, max_shift);
+
+        Ok(TransmissionReport {
+            sent_bits: frame.bits().to_vec(),
+            received_bits: alignment.aligned_bits,
+            latencies,
+            alignment_offset: alignment.offset,
+            edit_distance: alignment.edit_distance,
+            breakdown: alignment.breakdown,
+            bit_error_rate: alignment.bit_error_rate,
+            rate_kbps: rate_kbps(
+                self.config.encoding.bits_per_symbol(),
+                self.config.period_cycles,
+                2.2,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::NoiseConfig;
+    use crate::encoding::SymbolEncoding;
+    use sim_core::sched::InterruptConfig;
+    use sim_core::tsc::TscConfig;
+
+    fn config(seed: u64) -> ChannelConfig {
+        ChannelConfig::builder()
+            .encoding(SymbolEncoding::binary(2).unwrap())
+            .period_cycles(5_500)
+            .calibration_samples(40)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    /// The tentpole contract: the compiled transmit path is bit-identical to
+    /// the stepped actor path, frame by frame, across noise models.
+    #[test]
+    fn compiled_and_stepped_backends_are_bit_identical() {
+        let mut variants: Vec<ChannelConfig> = Vec::new();
+        // Default realistic machine (interrupts + tsc noise).
+        variants.push(config(7));
+        // Idealised machine.
+        let mut ideal = config(8);
+        ideal.interrupts = InterruptConfig::none();
+        ideal.tsc = TscConfig::ideal();
+        variants.push(ideal);
+        // Noisy neighbour present (adds the third program/actor).
+        let mut noisy = config(9);
+        noisy.noise = Some(NoiseConfig {
+            interval: 1_500,
+            lines: 2,
+            store_fraction: 0.4,
+        });
+        variants.push(noisy);
+        // Multi-bit encoding.
+        let mut multibit = config(10);
+        multibit.encoding = SymbolEncoding::paper_two_bit();
+        variants.push(multibit);
+
+        for config in variants {
+            let label = format!("{config:?}");
+            let payload: Vec<bool> = (0..48).map(|i| (i * 5) % 3 == 0).collect();
+            let mut compiled = ChannelSession::new(config.clone()).unwrap();
+            let mut stepped = ChannelSession::new(config).unwrap();
+            for _ in 0..2 {
+                let frame = Frame::from_payload(&payload);
+                let a = compiled
+                    .transmit_frame_with(&frame, Backend::Compiled)
+                    .unwrap();
+                let b = stepped
+                    .transmit_frame_with(&frame, Backend::Stepped)
+                    .unwrap();
+                assert_eq!(a, b, "backends diverged for {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_usage_accumulates_over_frames() {
+        let mut config = config(3);
+        config.interrupts = InterruptConfig::none();
+        config.tsc = TscConfig::ideal();
+        let mut session = ChannelSession::new(config).unwrap();
+        assert_eq!(session.sim_usage(), SimUsage::default());
+        let payload: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        session.transmit_bits(&payload).unwrap();
+        let first = session.sim_usage();
+        assert_eq!(first.frames, 1);
+        assert!(first.accesses() > 0);
+        assert!(first.cycles() > 0);
+        session.transmit_bits(&payload).unwrap();
+        let second = session.sim_usage();
+        assert_eq!(second.frames, 2);
+        assert!(second.accesses() > first.accesses());
+    }
+}

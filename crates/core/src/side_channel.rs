@@ -23,6 +23,7 @@ use analysis::threshold::BinaryThreshold;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::line::DomainId;
+use sim_cache::trace::TraceOp;
 use sim_core::machine::{Machine, MachineConfig};
 use sim_core::memlayout::SetLines;
 use sim_core::process::{AddressSpace, ProcessId};
@@ -108,6 +109,10 @@ pub struct SideChannelResult {
 /// The attacker's and victim's memory layouts for the two sets involved.
 struct Setup {
     machine: Machine,
+    /// Prebuilt traces for the bulk phases, replayed through the batch
+    /// engine every trial.
+    dirty_prime_trace: Vec<TraceOp>,
+    clean_prime_trace: Vec<TraceOp>,
     /// Two disjoint probe (replacement) sets for set *m*, used alternately so
     /// consecutive probes never self-hit in the L1 (Algorithm 2's A/B trick).
     probe_m_a: SetLines,
@@ -140,23 +145,27 @@ impl Setup {
         }
         let attacker = AddressSpace::new(ProcessId(ATTACKER_DOMAIN));
         let victim = AddressSpace::new(ProcessId(VICTIM_DOMAIN));
+        let prime_m = SetLines::build(
+            attacker,
+            geometry,
+            config.set_m,
+            geometry.associativity,
+            3_000,
+        );
+        let prime_n = SetLines::build(
+            attacker,
+            geometry,
+            config.set_n,
+            geometry.associativity,
+            3_000,
+        );
         Ok(Setup {
             probe_m_a: SetLines::build(attacker, geometry, config.set_m, 10, 1_000),
             probe_m_b: SetLines::build(attacker, geometry, config.set_m, 10, 2_000),
-            prime_m: SetLines::build(
-                attacker,
-                geometry,
-                config.set_m,
-                geometry.associativity,
-                3_000,
-            ),
-            prime_n: SetLines::build(
-                attacker,
-                geometry,
-                config.set_n,
-                geometry.associativity,
-                3_000,
-            ),
+            dirty_prime_trace: prime_m.lines().iter().map(|&l| TraceOp::write(l)).collect(),
+            clean_prime_trace: prime_n.lines().iter().map(|&l| TraceOp::read(l)).collect(),
+            prime_m,
+            prime_n,
             // Two victim lines per set so the timing variant can load two
             // lines serially per branch, as the paper requires.
             victim_line0: SetLines::build(victim, geometry, config.set_m, 2, 0),
@@ -168,28 +177,26 @@ impl Setup {
     }
 
     fn warm(&mut self) {
-        let attacker_lines: Vec<_> = self
+        // The two parties' address spaces are disjoint: one batched trace
+        // per domain, same access order as the per-access loops had.
+        let attacker_warm: Vec<TraceOp> = self
             .probe_m_a
             .lines()
             .iter()
             .chain(self.probe_m_b.lines())
             .chain(self.prime_m.lines())
             .chain(self.prime_n.lines())
-            .copied()
+            .map(|&l| TraceOp::read(l))
             .collect();
-        for line in attacker_lines {
-            self.machine.read(ATTACKER_DOMAIN, line);
-        }
-        let victim_lines: Vec<_> = self
+        let victim_warm: Vec<TraceOp> = self
             .victim_line0
             .lines()
             .iter()
             .chain(self.victim_line1.lines())
-            .copied()
+            .map(|&l| TraceOp::read(l))
             .collect();
-        for line in victim_lines {
-            self.machine.read(VICTIM_DOMAIN, line);
-        }
+        self.machine.run_trace(ATTACKER_DOMAIN, &attacker_warm);
+        self.machine.run_trace(VICTIM_DOMAIN, &victim_warm);
     }
 
     /// Attacker sweep of set *m* (measured), alternating the two disjoint
@@ -208,16 +215,16 @@ impl Setup {
 
     /// Attacker fills set *m* with `W` dirty lines (Prime-with-stores).
     fn dirty_prime_m(&mut self) {
-        for i in 0..self.prime_m.len() {
-            self.machine.write(ATTACKER_DOMAIN, self.prime_m.line(i));
-        }
+        let trace = std::mem::take(&mut self.dirty_prime_trace);
+        self.machine.run_trace(ATTACKER_DOMAIN, &trace);
+        self.dirty_prime_trace = trace;
     }
 
     /// Attacker fills set *n* with `W` clean lines.
     fn clean_prime_n(&mut self) {
-        for i in 0..self.prime_n.len() {
-            self.machine.read(ATTACKER_DOMAIN, self.prime_n.line(i));
-        }
+        let trace = std::mem::take(&mut self.clean_prime_trace);
+        self.machine.run_trace(ATTACKER_DOMAIN, &trace);
+        self.clean_prime_trace = trace;
     }
 
     /// The victim of Figure 9(a): store to line 0 when the secret is set,
@@ -240,10 +247,8 @@ impl Setup {
         } else {
             [self.victim_line1.line(0), self.victim_line1.line(1)]
         };
-        lines
-            .iter()
-            .map(|&l| self.machine.read(VICTIM_DOMAIN, l).cycles)
-            .sum()
+        let ops = [TraceOp::read(lines[0]), TraceOp::read(lines[1])];
+        self.machine.run_trace(VICTIM_DOMAIN, &ops).cycles
     }
 }
 

@@ -143,7 +143,7 @@ pub fn sender_profile(
     // while busy-waiting; model that as a small hot footprint in an unrelated
     // set so the perf-counter denominators (Table VII) are meaningful.
     let spin_lines = SetLines::build(sender_space, geometry, (target_set + 17) % 64, 4, 5_000);
-    let mut sender = WbSender::new(
+    let sender = WbSender::new(
         SENDER_DOMAIN,
         sender_lines,
         encoding.clone(),
@@ -152,41 +152,44 @@ pub fn sender_profile(
     )
     .with_spin_footprint(spin_lines, 24);
 
-    let mut receiver_actor;
-    let mut workload_actor;
+    // The sender (and the WB receiver, when present) run as compiled trace
+    // programs on the session executor; the compiler-like workload is a
+    // dynamic actor sharing the same scheduler.  Program order mirrors the
+    // actor order of the old stepping loop, so the profiles are unchanged.
     let start = machine.now();
-    {
-        let mut actors: Vec<&mut dyn Actor> = vec![&mut sender];
-        match companion {
-            SenderCompanion::WbReceiver => {
-                let layout = ChannelLayout::build(
-                    AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
-                    geometry,
-                    target_set,
-                    geometry.associativity,
-                    10,
-                );
-                receiver_actor = WbReceiver::with_default_phase(
-                    RECEIVER_DOMAIN,
-                    layout,
-                    period_cycles,
-                    symbol_count,
-                    seed ^ 0xaaaa,
-                );
-                actors.push(&mut receiver_actor);
-            }
-            SenderCompanion::CompilerWorkload => {
-                workload_actor = CompilerWorkload::new(
-                    AddressSpace::new(ProcessId(COMPANION_DOMAIN)),
-                    COMPANION_DOMAIN,
-                    CompilerWorkloadConfig::default(),
-                    seed ^ 0xbbbb,
-                );
-                actors.push(&mut workload_actor);
-            }
-            SenderCompanion::None => {}
+    let mut programs = vec![sender.compile()];
+    match companion {
+        SenderCompanion::WbReceiver => {
+            let layout = ChannelLayout::build(
+                AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+                geometry,
+                target_set,
+                geometry.associativity,
+                10,
+            );
+            let receiver = WbReceiver::with_default_phase(
+                RECEIVER_DOMAIN,
+                layout,
+                period_cycles,
+                symbol_count,
+                seed ^ 0xaaaa,
+            );
+            programs.push(receiver.compile());
+            machine.run_session(&programs, &mut [], duration_cycles);
         }
-        machine.run(&mut actors, duration_cycles);
+        SenderCompanion::CompilerWorkload => {
+            let mut workload = CompilerWorkload::new(
+                AddressSpace::new(ProcessId(COMPANION_DOMAIN)),
+                COMPANION_DOMAIN,
+                CompilerWorkloadConfig::default(),
+                seed ^ 0xbbbb,
+            );
+            let mut extras: Vec<&mut dyn Actor> = vec![&mut workload];
+            machine.run_session(&programs, &mut extras, duration_cycles);
+        }
+        SenderCompanion::None => {
+            machine.run_session(&programs, &mut [], duration_cycles);
+        }
     }
 
     Ok(StealthRun {

@@ -140,13 +140,20 @@ pub fn evaluate_defense(
     let mut locked_lines: Vec<sim_cache::addr::PhysAddr> = Vec::new();
     let mut observe = |machine: &mut Machine, rng: &mut StdRng, d: usize| -> u64 {
         // Sender encodes d dirty lines (the protected process's stores).
-        for i in 0..d {
-            let line = sender_lines.line(i);
-            machine.write(SENDER_DOMAIN, line);
-            if defense.locks_protected_lines() {
+        // Unless the defense interleaves per-store lock operations, the
+        // burst runs as one batched trace.
+        if defense.locks_protected_lines() {
+            for i in 0..d {
+                let line = sender_lines.line(i);
+                machine.write(SENDER_DOMAIN, line);
                 machine.hierarchy_mut().l1_mut().lock_line(line);
                 locked_lines.push(line);
             }
+        } else {
+            let encode: Vec<TraceOp> = (0..d)
+                .map(|i| TraceOp::write(sender_lines.line(i)))
+                .collect();
+            machine.run_trace(SENDER_DOMAIN, &encode);
         }
         // Prefetch-guard injects guard lines into the suspicious set.
         for g in 0..defense.guard_prefetch_degree() {

@@ -48,6 +48,11 @@ pub struct ScenarioRun {
     pub tables: Vec<(String, Table)>,
     /// The first point error, if any point failed.
     pub error: Option<String>,
+    /// Simulated cycles summed over the scenario's points (zero for
+    /// uninstrumented scenarios).
+    pub sim_cycles: u64,
+    /// Simulated demand accesses summed over the scenario's points.
+    pub sim_accesses: u64,
 }
 
 /// One task's result: timing plus the point outcome.
@@ -145,14 +150,20 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
             (finished - started).max(0.0)
         };
         let error = group.iter().find_map(|p| p.output.as_ref().err()).cloned();
-        let tables = if error.is_some() {
-            Vec::new()
+        let (tables, sim_cycles, sim_accesses) = if error.is_some() {
+            (Vec::new(), 0, 0)
         } else {
             let outputs: Vec<PointOutput> = group
                 .into_iter()
                 .map(|p| p.output.expect("checked error above"))
                 .collect();
-            (scenario.assemble)(config.scale, &outputs)
+            let sim_cycles = outputs.iter().map(|o| o.sim_cycles).sum();
+            let sim_accesses = outputs.iter().map(|o| o.sim_accesses).sum();
+            (
+                (scenario.assemble)(config.scale, &outputs),
+                sim_cycles,
+                sim_accesses,
+            )
         };
         runs.push(ScenarioRun {
             id: scenario.id,
@@ -163,6 +174,8 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
             wall_ms,
             tables,
             error,
+            sim_cycles,
+            sim_accesses,
         });
     }
     runs

@@ -11,12 +11,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Column headers of the manifest table, in order.
-pub const MANIFEST_HEADERS: [&str; 8] = [
+pub const MANIFEST_HEADERS: [&str; 10] = [
     "id",
     "paper ref",
     "scale",
     "seed",
     "points",
+    "sim cycles",
+    "sim accesses",
     "wall (ms)",
     "status",
     "outputs",
@@ -24,7 +26,7 @@ pub const MANIFEST_HEADERS: [&str; 8] = [
 
 /// Index of the only non-deterministic manifest column (wall time) — the
 /// determinism tests blank it before comparing runs.
-pub const WALL_MS_COLUMN: usize = 5;
+pub const WALL_MS_COLUMN: usize = 7;
 
 /// Builds the manifest table for a set of completed scenario runs.
 pub fn manifest_table(runs: &[ScenarioRun]) -> Table {
@@ -41,6 +43,8 @@ pub fn manifest_table(runs: &[ScenarioRun]) -> Table {
             run.scale.label().to_owned(),
             format!("{:#018x}", run.seed),
             run.points.to_string(),
+            run.sim_cycles.to_string(),
+            run.sim_accesses.to_string(),
             fixed(run.wall_ms, 1),
             run.error
                 .clone()
@@ -76,6 +80,8 @@ mod tests {
             seed: 0xabcd,
             points: 3,
             wall_ms: 1.25,
+            sim_cycles: 0,
+            sim_accesses: 0,
             tables: vec![(id.to_owned(), Table::new("t", &["a"]))],
             error,
         }
@@ -88,8 +94,10 @@ mod tests {
         assert_eq!(table.len(), 2);
         assert_eq!(table.headers.len(), MANIFEST_HEADERS.len());
         assert_eq!(table.headers[WALL_MS_COLUMN], "wall (ms)");
-        assert!(table.rows[0][6] == "ok");
-        assert!(table.rows[1][6].starts_with("error: boom"));
+        assert!(table.rows[0][8] == "ok");
+        assert!(table.rows[1][8].starts_with("error: boom"));
+        assert_eq!(table.headers[5], "sim cycles");
+        assert_eq!(table.rows[0][5], "0");
         let back = Table::from_json(&table.to_json()).unwrap();
         assert_eq!(back, table);
     }

@@ -35,6 +35,12 @@ pub struct PointOutput {
     pub values: Vec<f64>,
     /// `(output stem, rows)` for auxiliary tables.
     pub aux: Vec<(String, Vec<Vec<String>>)>,
+    /// Simulated cycles this point attributed to memory operations
+    /// (sourced from the trace engine's `TraceSummary`s; zero when the
+    /// point does not instrument its simulation).
+    pub sim_cycles: u64,
+    /// Simulated demand accesses this point executed (same source).
+    pub sim_accesses: u64,
 }
 
 impl PointOutput {

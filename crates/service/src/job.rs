@@ -300,6 +300,8 @@ mod tests {
             seed: 1,
             points: 1,
             wall_ms: 123.4,
+            sim_cycles: 7,
+            sim_accesses: 3,
             tables: vec![("table2".to_owned(), table)],
             error: None,
         };

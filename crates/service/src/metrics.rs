@@ -8,7 +8,9 @@
 //! assert on it with `grep` and a Prometheus scraper could ingest it as-is.
 
 use runner::pool::PoolStats;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// The service endpoints that get their own request counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,11 @@ pub struct Metrics {
     queue_peak_depth: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Per-scenario simulated work (cycles, accesses), sourced from the
+    /// trace engine's `TraceSummary`s and recorded when a job actually
+    /// *runs* a scenario (cache hits simulate nothing).  A `BTreeMap` keeps
+    /// the `/metrics` rendering in stable alphabetical order.
+    scenario_sim: Mutex<BTreeMap<&'static str, (u64, u64)>>,
 }
 
 impl Metrics {
@@ -118,6 +125,15 @@ impl Metrics {
     pub fn record_cache(&self, hits: u64, misses: u64) {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Records the simulated work one freshly executed scenario performed
+    /// (cycles and demand accesses from its aggregated `TraceSummary`s).
+    pub fn record_scenario_sim(&self, scenario: &'static str, cycles: u64, accesses: u64) {
+        let mut map = self.scenario_sim.lock().expect("sim metrics lock");
+        let entry = map.entry(scenario).or_insert((0, 0));
+        entry.0 += cycles;
+        entry.1 += accesses;
     }
 
     /// Current queue depth (queued + running jobs).
@@ -172,6 +188,16 @@ impl Metrics {
             self.cache_misses.load(Ordering::Relaxed),
         ));
         out.push_str(&gauge("service_result_cache_entries", cache_entries as u64));
+        for (scenario, (cycles, accesses)) in
+            self.scenario_sim.lock().expect("sim metrics lock").iter()
+        {
+            out.push_str(&format!(
+                "service_scenario_sim_cycles_total{{scenario=\"{scenario}\"}} {cycles}\n"
+            ));
+            out.push_str(&format!(
+                "service_scenario_sim_accesses_total{{scenario=\"{scenario}\"}} {accesses}\n"
+            ));
+        }
         out.push_str(&gauge("pool_tasks_queued_total", pool.tasks_queued));
         out.push_str(&gauge("pool_tasks_completed_total", pool.tasks_completed));
         out.push_str(&gauge("pool_tasks_panicked_total", pool.tasks_panicked));

@@ -338,6 +338,11 @@ fn run_job(shared: &Shared, job_id: u64) {
         };
         let runs = execute(&selected, &config);
         for run in &runs {
+            // Freshly simulated work feeds the per-scenario /metrics
+            // counters (cache hits never reach this loop's scenarios).
+            shared
+                .metrics
+                .record_scenario_sim(run.id, run.sim_cycles, run.sim_accesses);
             let key = result_key(run.id, spec.scale, spec.seed);
             let body = scenario_body(run, &key);
             if run.error.is_none() {

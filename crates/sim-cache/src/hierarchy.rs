@@ -31,6 +31,19 @@ const L2_STREAM: u64 = 2;
 const LLC_STREAM: u64 = 3;
 const FILL_STREAM: u64 = 4;
 
+/// The random-fill RNG seed for a hierarchy seed.
+///
+/// xorshift64* (the fill RNG) has an all-zero fixed point; SplitMix64 maps
+/// exactly one input to zero, so guard it with a constant.  Shared by
+/// [`CacheHierarchy::new`] and [`CacheHierarchy::reset`] so a reset machine
+/// stays bit-identical to a fresh one.
+fn fill_seed(seed: u64) -> u64 {
+    match stream_seed(seed, FILL_STREAM) {
+        0 => 0x9E37_79B9_7F4A_7C15,
+        s => s,
+    }
+}
+
 /// Configuration of a full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -113,12 +126,6 @@ impl CacheHierarchy {
     ///
     /// Propagates configuration errors from the individual cache levels.
     pub fn new(config: HierarchyConfig) -> crate::Result<CacheHierarchy> {
-        // xorshift64* (the fill RNG) has an all-zero fixed point; SplitMix64
-        // maps exactly one input to zero, so guard it with a constant.
-        let fill_seed = match stream_seed(config.seed, FILL_STREAM) {
-            0 => 0x9E37_79B9_7F4A_7C15,
-            s => s,
-        };
         Ok(CacheHierarchy {
             l1d: Cache::new(config.l1d, stream_seed(config.seed, L1D_STREAM))?,
             l2: Cache::new(config.l2, stream_seed(config.seed, L2_STREAM))?,
@@ -126,7 +133,7 @@ impl CacheHierarchy {
             latency: config.latency,
             prefetcher: config.l1_prefetch.map(NextLinePrefetcher::new),
             random_fill: config.l1_random_fill,
-            fill_rng_state: fill_seed,
+            fill_rng_state: fill_seed(config.seed),
             stats: HierarchyStats::default(),
         })
     }
@@ -139,6 +146,29 @@ impl CacheHierarchy {
     pub fn xeon_e5_2650(l1_policy: PolicyKind, seed: u64) -> CacheHierarchy {
         CacheHierarchy::new(HierarchyConfig::xeon_e5_2650(l1_policy, seed))
             .expect("built-in configuration is valid")
+    }
+
+    /// Resets this hierarchy to the state [`CacheHierarchy::new`] would
+    /// produce for `config`, reusing each level's arenas when geometries are
+    /// unchanged (see [`Cache::reset`]).  Behaviourally indistinguishable
+    /// from a fresh construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the individual cache levels.
+    pub fn reset(&mut self, config: HierarchyConfig) -> crate::Result<()> {
+        self.l1d
+            .reset(config.l1d, stream_seed(config.seed, L1D_STREAM))?;
+        self.l2
+            .reset(config.l2, stream_seed(config.seed, L2_STREAM))?;
+        self.llc
+            .reset(config.llc, stream_seed(config.seed, LLC_STREAM))?;
+        self.latency = config.latency;
+        self.prefetcher = config.l1_prefetch.map(NextLinePrefetcher::new);
+        self.random_fill = config.l1_random_fill;
+        self.fill_rng_state = fill_seed(config.seed);
+        self.stats = HierarchyStats::default();
+        Ok(())
     }
 
     /// The latency model in use.
@@ -224,6 +254,39 @@ impl CacheHierarchy {
                 }
                 crate::trace::TraceKind::Flush => self.flush(op.addr, ctx),
             };
+            summary.absorb(&outcome);
+        }
+        summary
+    }
+
+    /// As [`CacheHierarchy::run_trace`], but additionally captures the
+    /// latency of **every** operation into `latencies` (one appended sample
+    /// per op, in execution order).
+    ///
+    /// This is the timed-read capture of the trace engine: callers that
+    /// decode per-operation timing — a receiver classifying individual
+    /// probe latencies, a latency-distribution experiment — get the same
+    /// batched execution as `run_trace` plus the per-op samples, without
+    /// materialising full [`AccessOutcome`]s.  The samples are exactly the
+    /// `cycles` fields the per-access API would have returned (the property
+    /// tests enforce this for arbitrary op mixes and seeds).
+    pub fn run_trace_timed(
+        &mut self,
+        ops: &[TraceOp],
+        ctx: AccessContext,
+        latencies: &mut Vec<u64>,
+    ) -> TraceSummary {
+        let mut summary = TraceSummary::default();
+        latencies.reserve(ops.len());
+        for op in ops {
+            let outcome = match op.kind {
+                crate::trace::TraceKind::Read => self.demand_access(op.addr, ctx, AccessKind::Read),
+                crate::trace::TraceKind::Write => {
+                    self.demand_access(op.addr, ctx, AccessKind::Write)
+                }
+                crate::trace::TraceKind::Flush => self.flush(op.addr, ctx),
+            };
+            latencies.push(outcome.cycles);
             summary.absorb(&outcome);
         }
         summary
@@ -325,6 +388,7 @@ impl CacheHierarchy {
     /// Writes a dirty L1 victim back into the L2, propagating any spill chain
     /// (L2 → LLC → memory).  Returns the number of *additional* write-backs
     /// the chain performed beyond the L1 one the caller already counted.
+    #[inline(always)]
     fn push_writeback_to_l2(&mut self, evicted: EvictedLine) -> u32 {
         self.stats.l1_writebacks += 1;
         let owner_ctx = AccessContext::for_domain(evicted.owner);
@@ -361,6 +425,7 @@ impl CacheHierarchy {
         }
     }
 
+    #[inline]
     fn demand_access(
         &mut self,
         addr: PhysAddr,
@@ -370,10 +435,12 @@ impl CacheHierarchy {
         let is_write = kind == AccessKind::Write;
 
         // ---- L1 lookup --------------------------------------------------
+        // The L1 set/tag pair is computed once and reused by the fill below.
+        let (l1_set, l1_tag) = self.l1d.set_and_tag(addr);
         let l1_hit = if is_write {
-            self.l1d.lookup_write(addr, ctx).is_some()
+            self.l1d.lookup_write_at(l1_set, l1_tag).is_some()
         } else {
-            self.l1d.lookup_read(addr, ctx).is_some()
+            self.l1d.lookup_read_at(l1_set, l1_tag).is_some()
         };
         if l1_hit {
             let mut cycles = self.latency.l1_hit;
@@ -426,8 +493,11 @@ impl CacheHierarchy {
         } else {
             let make_dirty = is_write && self.l1d.config().write_policy == WritePolicy::WriteBack;
             // The L1 lookup above missed and the outer walk never fills the
-            // L1, so the residency re-scan can be skipped.
-            let fill = self.l1d.fill_missing(addr, ctx, make_dirty, false);
+            // L1, so the residency re-scan can be skipped and the set/tag
+            // pair from the lookup reused.
+            let fill = self
+                .l1d
+                .fill_missing_at(l1_set, l1_tag, ctx, make_dirty, false);
             l1_filled = fill.filled;
             if let Some(evicted) = fill.evicted {
                 l1_evicted = Some(evicted.addr);
@@ -461,26 +531,29 @@ impl CacheHierarchy {
     /// Looks up the L2, LLC and memory; fills the outer levels as needed and
     /// returns the serving level, the base latency (excluding any L1 victim
     /// write-back) and the number of deep write-backs the walk performed.
+    #[inline]
     fn outer_lookup(
         &mut self,
         addr: PhysAddr,
         ctx: AccessContext,
         is_write: bool,
     ) -> (HitLevel, u64, u32) {
+        let (l2_set, l2_tag) = self.l2.set_and_tag(addr);
         let l2_hit = if is_write {
-            self.l2.lookup_write(addr, ctx).is_some()
+            self.l2.lookup_write_at(l2_set, l2_tag).is_some()
         } else {
-            self.l2.lookup_read(addr, ctx).is_some()
+            self.l2.lookup_read_at(l2_set, l2_tag).is_some()
         };
         if l2_hit {
             return (HitLevel::L2, self.latency.l2_hit, 0);
         }
 
         let mut writebacks = 0u32;
+        let (llc_set, llc_tag) = self.llc.set_and_tag(addr);
         let llc_hit = if is_write {
-            self.llc.lookup_write(addr, ctx).is_some()
+            self.llc.lookup_write_at(llc_set, llc_tag).is_some()
         } else {
-            self.llc.lookup_read(addr, ctx).is_some()
+            self.llc.lookup_read_at(llc_set, llc_tag).is_some()
         };
         let (level, base) = if llc_hit {
             (HitLevel::L3, self.latency.l3_hit)
@@ -488,7 +561,9 @@ impl CacheHierarchy {
             self.stats.memory_accesses += 1;
             // Memory supplies the line; install it in the LLC (which just
             // missed, so the residency re-scan can be skipped).
-            let fill = self.llc.fill_missing(addr, ctx, false, false);
+            let fill = self
+                .llc
+                .fill_missing_at(llc_set, llc_tag, ctx, false, false);
             if let Some(evicted) = fill.evicted {
                 if evicted.dirty {
                     // Write-back to memory; latency folded into the miss.
@@ -503,7 +578,7 @@ impl CacheHierarchy {
         // Install in the L2 on the way in (non-exclusive; the L2 lookup
         // above missed and nothing filled the L2 since).
         let mut extra = 0;
-        let fill = self.l2.fill_missing(addr, ctx, false, false);
+        let fill = self.l2.fill_missing_at(l2_set, l2_tag, ctx, false, false);
         if let Some(evicted) = fill.evicted {
             if evicted.dirty {
                 extra += self.latency.deep_dirty_writeback;

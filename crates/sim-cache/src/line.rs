@@ -1,16 +1,15 @@
-//! Cache-line state, packed for the arena tag store.
+//! Cache-line state as a value type.
 //!
-//! Each way of a set holds a [`CacheLine`]: the tag plus a one-byte flag
+//! A [`CacheLine`] describes one way of a set: the tag plus a one-byte flag
 //! word carrying the valid bit, the **dirty bit** that the WB channel
 //! abuses, an optional lock bit (PLcache defense) and the identifier of the
 //! protection domain that installed the line (DAWG defense, perf
 //! attribution).
 //!
-//! The representation is deliberately flat — a `u64` tag, a `u8` flag word
-//! and a `u16` owner — so that [`crate::cache::Cache`] can keep **all** lines
-//! of a level in one contiguous arena (`Box<[CacheLine]>`, indexed by
-//! `set * ways + way`) and the tag-match loop on the access hot path walks
-//! adjacent memory instead of chasing per-set `Vec` allocations.
+//! [`crate::cache::Cache`] stores this state in structure-of-arrays form
+//! (contiguous tag and owner arrays plus per-set packed state masks) for
+//! the access hot path; [`CacheLine`] is the *materialised* per-way view
+//! that [`crate::set::SetView`] hands to introspection callers and tests.
 
 /// The protection/attribution domain a line belongs to.
 ///
@@ -47,6 +46,29 @@ impl CacheLine {
             flags: 0,
             owner: 0,
         }
+    }
+
+    /// Assembles a line value from its unpacked state — used by
+    /// [`crate::set::SetView`] to materialise one way of the
+    /// structure-of-arrays tag store for introspection.
+    pub(crate) fn from_parts(
+        tag: u64,
+        owner: DomainId,
+        valid: bool,
+        dirty: bool,
+        locked: bool,
+    ) -> CacheLine {
+        let mut flags = 0;
+        if valid {
+            flags |= VALID;
+            if dirty {
+                flags |= DIRTY;
+            }
+            if locked {
+                flags |= LOCKED;
+            }
+        }
+        CacheLine { tag, flags, owner }
     }
 
     /// Installs a new line in this way, replacing whatever was there.

@@ -261,6 +261,25 @@ impl PolicyDispatch {
         }
     }
 
+    /// `choose_victim` immediately followed by `on_fill` of the chosen way —
+    /// the eviction hot path.  Tree-PLRU fuses the two updates of its
+    /// per-set direction word into one read-modify-write; every other policy
+    /// runs the two calls back-to-back, so the behaviour is identical for
+    /// all variants.
+    #[inline]
+    pub(crate) fn choose_victim_and_fill(
+        &mut self,
+        set: usize,
+        candidates: WayMask,
+    ) -> Option<usize> {
+        if let PolicyDispatch::TreePlru(p) = self {
+            return p.choose_and_touch(set, candidates);
+        }
+        let way = self.choose_victim(set, candidates)?;
+        self.on_fill(set, way);
+        Some(way)
+    }
+
     /// Resets all metadata to the post-power-on state.
     pub(crate) fn reset(&mut self) {
         match self {

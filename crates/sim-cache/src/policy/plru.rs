@@ -87,19 +87,57 @@ impl TreePlru {
     /// Follows the direction bits from the root, deviating only when the
     /// preferred subtree has no candidate ways.  Returns `None` when the
     /// candidate mask is empty.
+    ///
+    /// Subtree occupancy is answered with one mask intersection per side
+    /// (the ways below a node form a contiguous bit range), so the walk is
+    /// pure bit arithmetic on the victim-selection hot path.
     fn walk(&self, set: usize, candidates: WayMask) -> Option<usize> {
-        if candidates.is_empty() {
+        // Mask of the contiguous way range `lo..hi` (`hi` can be 64).
+        #[inline]
+        fn range_bits(lo: usize, hi: usize) -> u64 {
+            let upto = |n: usize| {
+                if n >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << n) - 1
+                }
+            };
+            upto(hi) & !upto(lo)
+        }
+
+        let cand = candidates.bits();
+        if cand == 0 {
             return None;
         }
         let word = self.words[set];
+        // Unrestricted selection (no partitions, no locks) — the common case
+        // — follows the direction bits root-to-leaf with pure arithmetic:
+        // the directions are data, not control flow, so the walk never
+        // mispredicts.
+        let all = if self.ways >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        if cand == all {
+            let levels = self.ways.trailing_zeros();
+            let mut way = 0usize;
+            let mut node = 0usize;
+            for _ in 0..levels {
+                let dir = ((word >> node) & 1) as usize;
+                way = (way << 1) | dir;
+                node = 2 * node + 1 + dir;
+            }
+            return Some(way);
+        }
         let mut node = 0usize;
         let mut lo = 0usize;
         let mut hi = self.ways; // half-open range of ways below this node
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             let prefer_right = (word >> node) & 1 == 1;
-            let left_has = (lo..mid).any(|w| candidates.contains(w));
-            let right_has = (mid..hi).any(|w| candidates.contains(w));
+            let left_has = cand & range_bits(lo, mid) != 0;
+            let right_has = cand & range_bits(mid, hi) != 0;
             let go_right = match (prefer_right, left_has, right_has) {
                 (_, false, false) => return None,
                 (true, _, true) | (false, false, true) => true,
@@ -113,6 +151,41 @@ impl TreePlru {
             }
         }
         Some(lo)
+    }
+
+    /// Chooses a victim and immediately marks it most-recently-used (the
+    /// fill touch), with the set's direction word loaded and stored once.
+    ///
+    /// Exactly equivalent to `choose_victim` followed by `on_fill` on the
+    /// returned way — the walk only reads the word, so fusing the two
+    /// read-modify-write sequences is unobservable — but it halves the
+    /// dependent word traffic on the eviction hot path.
+    pub(crate) fn choose_and_touch(&mut self, set: usize, candidates: WayMask) -> Option<usize> {
+        let cand = candidates.and(WayMask::all(self.ways)).bits();
+        let all = if self.ways >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        };
+        if cand == all {
+            // Unrestricted fast path: walk and touch on one load/store of
+            // the direction word, with branch-free directions.
+            let word = self.words[set];
+            let levels = self.ways.trailing_zeros();
+            let mut way = 0usize;
+            let mut node = 0usize;
+            for _ in 0..levels {
+                let dir = ((word >> node) & 1) as usize;
+                way = (way << 1) | dir;
+                node = 2 * node + 1 + dir;
+            }
+            let (clear, point) = self.touch_masks[way];
+            self.words[set] = (word & clear) | point;
+            return Some(way);
+        }
+        let way = self.walk(set, WayMask::from_bits(cand))?;
+        self.touch(set, way);
+        Some(way)
     }
 
     /// The way the unrestricted PLRU walk would evict next.

@@ -107,6 +107,7 @@ pub struct TraceSummary {
 
 impl TraceSummary {
     /// Folds one access outcome into the summary.
+    #[inline]
     pub fn absorb(&mut self, outcome: &AccessOutcome) {
         self.ops += 1;
         self.cycles += outcome.cycles;

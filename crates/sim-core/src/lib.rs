@@ -26,6 +26,9 @@
 //! * [`noise`] / [`workload`] — noisy-cache-line injectors (Figure 8) and the
 //!   `g++`-like benign co-runner used for the stealthiness baselines
 //!   (Tables VI and VII).
+//! * [`session`] — compiled [`session::TraceProgram`]s and the reports of
+//!   [`machine::Machine::run_session`], the batched executor the covert
+//!   channel's transmit path compiles onto.
 //!
 //! ## Example: measuring a replacement sweep
 //!
@@ -63,6 +66,7 @@ pub mod pointer_chase;
 pub mod process;
 pub mod program;
 pub mod sched;
+pub mod session;
 pub mod tsc;
 pub mod workload;
 
@@ -75,5 +79,6 @@ pub mod prelude {
     pub use crate::process::{AddressSpace, Process, ProcessId};
     pub use crate::program::{Action, Actor, Completion, ScriptedActor};
     pub use crate::sched::InterruptConfig;
+    pub use crate::session::{Measurement, ProgramReport, SessionReport, TraceProgram, TraceStep};
     pub use crate::tsc::{TscConfig, TscModel};
 }

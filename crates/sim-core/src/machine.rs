@@ -19,6 +19,7 @@
 use crate::perf::{PerfCounters, PerfStore};
 use crate::program::{Action, Actor, Completion};
 use crate::sched::{InterruptConfig, InterruptModel};
+use crate::session::{Measurement, ProgramReport, SessionReport, TraceProgram, TraceStep};
 use crate::tsc::{TscConfig, TscModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -28,7 +29,7 @@ use sim_cache::hierarchy::{CacheHierarchy, HierarchyConfig};
 use sim_cache::line::DomainId;
 use sim_cache::outcome::AccessOutcome;
 use sim_cache::policy::PolicyKind;
-use sim_cache::trace::{TraceOp, TraceSummary};
+use sim_cache::trace::{TraceKind, TraceOp, TraceSummary};
 
 /// Configuration of a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -131,6 +132,25 @@ impl Machine {
             .expect("built-in configuration is valid")
     }
 
+    /// Resets this machine to the state [`Machine::new`] would produce for
+    /// `config`, reusing the cache arenas when geometries are unchanged.
+    /// Behaviourally indistinguishable from a fresh construction — the
+    /// per-frame transmit loop uses this to stop paying the hierarchy
+    /// allocation for every frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-configuration errors.
+    pub fn reset(&mut self, config: MachineConfig) -> Result<(), sim_cache::Error> {
+        self.hierarchy.reset(config.hierarchy)?;
+        self.tsc = TscModel::new(config.tsc);
+        self.rng = StdRng::seed_from_u64(config.seed ^ 0x6d61_6368);
+        self.now = 0;
+        self.perf.reset();
+        self.config = config;
+        Ok(())
+    }
+
     /// The configuration this machine was built from.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -208,6 +228,24 @@ impl Machine {
         let summary = self
             .hierarchy
             .run_trace(ops, AccessContext::for_domain(domain));
+        self.perf.record_trace(domain, &summary);
+        self.now += summary.cycles;
+        summary
+    }
+
+    /// As [`Machine::run_trace`], but additionally captures every
+    /// operation's latency into `latencies` (the timed-read capture of the
+    /// trace engine; per-op samples identical to what per-access calls
+    /// would have returned).
+    pub fn run_trace_timed(
+        &mut self,
+        domain: DomainId,
+        ops: &[TraceOp],
+        latencies: &mut Vec<u64>,
+    ) -> TraceSummary {
+        let summary =
+            self.hierarchy
+                .run_trace_timed(ops, AccessContext::for_domain(domain), latencies);
         self.perf.record_trace(domain, &summary);
         self.now += summary.cycles;
         summary
@@ -310,73 +348,13 @@ impl Machine {
             threads[idx].actions += 1;
             let domain = actors[idx].domain();
             let started = self.now;
-            let mut completion = Completion {
-                finished_at: started,
-                latency: 0,
-                measured: None,
-                outcomes: Vec::new(),
-            };
 
-            match action {
-                Action::Done => {
-                    threads[idx].done = true;
-                    continue;
-                }
-                Action::Load(addr) => {
-                    let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
-                    self.perf.record(domain, &outcome);
-                    completion.latency = outcome.cycles;
-                    completion.outcomes.push(outcome);
-                }
-                Action::Store(addr) => {
-                    let outcome = self
-                        .hierarchy
-                        .write(addr, AccessContext::for_domain(domain));
-                    self.perf.record(domain, &outcome);
-                    completion.latency = outcome.cycles;
-                    completion.outcomes.push(outcome);
-                }
-                Action::Flush(addr) => {
-                    let outcome = self
-                        .hierarchy
-                        .flush(addr, AccessContext::for_domain(domain));
-                    self.perf.record(domain, &outcome);
-                    completion.latency = outcome.cycles;
-                    completion.outcomes.push(outcome);
-                }
-                Action::MeasuredChase(addrs) => {
-                    // The chase is the receiver's bulk decode path: execute
-                    // it as one batched trace.  Per-line semantics (ordering,
-                    // latency, perf counters) are identical, but no
-                    // per-access outcome is materialised — `outcomes` stays
-                    // empty for chases (see [`Completion::outcomes`]).
-                    let summary = self
-                        .hierarchy
-                        .run_read_trace(&addrs, AccessContext::for_domain(domain));
-                    self.perf.record_trace(domain, &summary);
-                    completion.latency = summary.cycles;
-                    completion.measured = Some(self.tsc.measure(summary.cycles, &mut self.rng));
-                }
-                Action::MeasuredLoad(addr) => {
-                    let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
-                    self.perf.record(domain, &outcome);
-                    completion.latency = outcome.cycles;
-                    completion.measured = Some(self.tsc.measure(outcome.cycles, &mut self.rng));
-                    completion.outcomes.push(outcome);
-                }
-                Action::WaitUntil(target) => {
-                    completion.latency = target.saturating_sub(started);
-                }
-                Action::Compute(cycles) => {
-                    completion.latency = cycles;
-                }
+            if matches!(action, Action::Done) {
+                threads[idx].done = true;
+                continue;
             }
-
-            // Every action costs at least one cycle of issue bandwidth; this
-            // also guarantees forward progress for zero-length waits.
-            let advance = completion.latency.max(1);
-            completion.finished_at = started + advance;
-            threads[idx].ready_at = started + advance;
+            let completion = self.execute_action(domain, action, started);
+            threads[idx].ready_at = completion.finished_at;
             actors[idx].on_completion(&completion);
         }
 
@@ -395,6 +373,327 @@ impl Machine {
             actions: threads.iter().map(|t| t.actions).collect(),
             stalled_cycles: threads.iter().map(|t| t.stalled).collect(),
             hit_limit,
+        }
+    }
+
+    /// Executes one non-`Done` action for `domain` starting at `started` and
+    /// returns its completion — the single implementation behind both
+    /// [`Machine::run`]'s actor turns and the dynamic-actor turns of
+    /// [`Machine::run_session`].
+    fn execute_action(&mut self, domain: DomainId, action: Action, started: u64) -> Completion {
+        let mut completion = Completion {
+            finished_at: started,
+            latency: 0,
+            measured: None,
+            outcomes: Vec::new(),
+        };
+        match action {
+            Action::Done => unreachable!("Done is handled by the scheduler"),
+            Action::Load(addr) => {
+                let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
+                self.perf.record(domain, &outcome);
+                completion.latency = outcome.cycles;
+                completion.outcomes.push(outcome);
+            }
+            Action::Store(addr) => {
+                let outcome = self
+                    .hierarchy
+                    .write(addr, AccessContext::for_domain(domain));
+                self.perf.record(domain, &outcome);
+                completion.latency = outcome.cycles;
+                completion.outcomes.push(outcome);
+            }
+            Action::Flush(addr) => {
+                let outcome = self
+                    .hierarchy
+                    .flush(addr, AccessContext::for_domain(domain));
+                self.perf.record(domain, &outcome);
+                completion.latency = outcome.cycles;
+                completion.outcomes.push(outcome);
+            }
+            Action::MeasuredChase(addrs) => {
+                // The chase is the receiver's bulk decode path: execute
+                // it as one batched trace.  Per-line semantics (ordering,
+                // latency, perf counters) are identical, but no
+                // per-access outcome is materialised — `outcomes` stays
+                // empty for chases (see [`Completion::outcomes`]).
+                let summary = self
+                    .hierarchy
+                    .run_read_trace(&addrs, AccessContext::for_domain(domain));
+                self.perf.record_trace(domain, &summary);
+                completion.latency = summary.cycles;
+                completion.measured = Some(self.tsc.measure(summary.cycles, &mut self.rng));
+            }
+            Action::MeasuredLoad(addr) => {
+                let outcome = self.hierarchy.read(addr, AccessContext::for_domain(domain));
+                self.perf.record(domain, &outcome);
+                completion.latency = outcome.cycles;
+                completion.measured = Some(self.tsc.measure(outcome.cycles, &mut self.rng));
+                completion.outcomes.push(outcome);
+            }
+            Action::WaitUntil(target) => {
+                completion.latency = target.saturating_sub(started);
+            }
+            Action::Compute(cycles) => {
+                completion.latency = cycles;
+            }
+        }
+        // Every action costs at least one cycle of issue bandwidth; this
+        // also guarantees forward progress for zero-length waits.
+        completion.finished_at = started + completion.latency.max(1);
+        completion
+    }
+
+    /// Runs a set of compiled [`TraceProgram`]s — optionally alongside
+    /// dynamic [`Actor`]s — until every thread is done or `limit` cycles
+    /// have elapsed.
+    ///
+    /// The scheduling semantics are **identical** to [`Machine::run`] with
+    /// the programs' operations issued as individual actions by actors
+    /// listed before `extras`: one scheduling turn per operation, an
+    /// OS-interrupt poll before every turn, earliest-ready-first order with
+    /// lowest-index tie-breaking, a minimum advance of one cycle per action,
+    /// and the same deadline rule.  What changes is purely mechanical: no
+    /// per-action allocation or virtual dispatch for compiled programs,
+    /// per-program perf accounting folded into one [`TraceSummary`] (the
+    /// batched [`PerfCounters::record_trace`] path), and consecutive
+    /// operations of one program executed back-to-back whenever no other
+    /// thread, interrupt or deadline could be scheduled between them.
+    pub fn run_session(
+        &mut self,
+        programs: &[TraceProgram],
+        extras: &mut [&mut dyn Actor],
+        limit: u64,
+    ) -> SessionReport {
+        struct ThreadState {
+            ready_at: u64,
+            done: bool,
+            interrupts: InterruptModel,
+            actions: u64,
+            stalled: u64,
+            /// Compiled-program cursor: next step index.
+            step: usize,
+            /// Offset within the current `Ops` step.
+            op_cursor: usize,
+            /// The program's anchor register (`Tlast` of Algorithm 3).
+            anchor: u64,
+        }
+
+        let total = programs.len() + extras.len();
+        let mut threads: Vec<ThreadState> = (0..total)
+            .map(|_| ThreadState {
+                ready_at: self.now,
+                done: false,
+                interrupts: InterruptModel::new(&self.config.interrupts, &mut self.rng),
+                actions: 0,
+                stalled: 0,
+                step: 0,
+                op_cursor: 0,
+                anchor: self.now,
+            })
+            .collect();
+        let mut reports: Vec<ProgramReport> = programs
+            .iter()
+            .map(|p| ProgramReport {
+                name: p.name().to_owned(),
+                domain: p.domain(),
+                summary: TraceSummary::default(),
+                measurements: Vec::new(),
+                actions: 0,
+                stalled_cycles: 0,
+                finished: false,
+            })
+            .collect();
+        let deadline = self.now + limit;
+        let mut hit_limit = false;
+
+        loop {
+            // Pick the runnable thread with the earliest ready time (the
+            // first minimum, i.e. the lowest index on ties).
+            let next = threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done)
+                .min_by_key(|(_, t)| t.ready_at)
+                .map(|(i, t)| (i, t.ready_at));
+            let Some((idx, ready_at)) = next else {
+                break; // every thread finished
+            };
+            if ready_at >= deadline {
+                hit_limit = true;
+                break;
+            }
+            self.now = self.now.max(ready_at);
+
+            // OS interruption?
+            if let Some(stall) =
+                threads[idx]
+                    .interrupts
+                    .poll(self.now, &self.config.interrupts, &mut self.rng)
+            {
+                threads[idx].ready_at = self.now + stall;
+                threads[idx].stalled += stall;
+                continue;
+            }
+
+            if idx >= programs.len() {
+                // ---- dynamic actor turn (identical to Machine::run) ------
+                let actor = &mut extras[idx - programs.len()];
+                let action = actor.next_action(self.now);
+                threads[idx].actions += 1;
+                let domain = actor.domain();
+                let started = self.now;
+                if matches!(action, Action::Done) {
+                    threads[idx].done = true;
+                    continue;
+                }
+                let completion = self.execute_action(domain, action, started);
+                threads[idx].ready_at = completion.finished_at;
+                actor.on_completion(&completion);
+                continue;
+            }
+
+            // ---- compiled program turn -------------------------------------
+            let program = &programs[idx];
+            let ctx = AccessContext::for_domain(program.domain());
+            // The earliest other live thread bounds how far this program may
+            // run without rescheduling; a tie goes to the lower index.
+            let mut other_min = u64::MAX;
+            let mut other_idx = usize::MAX;
+            for (j, t) in threads.iter().enumerate() {
+                if j != idx && !t.done && t.ready_at < other_min {
+                    other_min = t.ready_at;
+                    other_idx = j;
+                }
+            }
+            let runs_before_others =
+                |at: u64| at < other_min || (at == other_min && idx < other_idx);
+
+            loop {
+                let thread = &mut threads[idx];
+                // Anchor markers are free: the anchor is the issue time of
+                // the next real operation (interrupt stalls included).
+                while let Some(TraceStep::Anchor) = program.steps().get(thread.step) {
+                    thread.anchor = self.now;
+                    thread.step += 1;
+                }
+                let Some(&step) = program.steps().get(thread.step) else {
+                    // The Done turn.
+                    thread.actions += 1;
+                    thread.done = true;
+                    reports[idx].finished = true;
+                    break;
+                };
+                let started = self.now;
+                let mut measured = None;
+                let latency = match step {
+                    TraceStep::Ops { start, end } => {
+                        let op = program.op_arena()[start + thread.op_cursor];
+                        thread.op_cursor += 1;
+                        if start + thread.op_cursor == end {
+                            thread.step += 1;
+                            thread.op_cursor = 0;
+                        }
+                        let outcome = match op.kind {
+                            TraceKind::Read => self.hierarchy.read(op.addr, ctx),
+                            TraceKind::Write => self.hierarchy.write(op.addr, ctx),
+                            TraceKind::Flush => self.hierarchy.flush(op.addr, ctx),
+                        };
+                        reports[idx].summary.absorb(&outcome);
+                        outcome.cycles
+                    }
+                    TraceStep::Chase { start, end } => {
+                        thread.step += 1;
+                        let summary = self
+                            .hierarchy
+                            .run_read_trace(&program.chase_arena()[start..end], ctx);
+                        reports[idx].summary.merge(&summary);
+                        measured = Some(self.tsc.measure(summary.cycles, &mut self.rng));
+                        summary.cycles
+                    }
+                    TraceStep::WaitUntil { target } => {
+                        thread.step += 1;
+                        target.saturating_sub(started)
+                    }
+                    TraceStep::WaitEpoch { target } => {
+                        thread.step += 1;
+                        thread.anchor = target;
+                        target.saturating_sub(started)
+                    }
+                    TraceStep::WaitAnchor { offset } => {
+                        thread.step += 1;
+                        (thread.anchor + offset).saturating_sub(started)
+                    }
+                    TraceStep::WaitFloor { floor, offset } => {
+                        thread.step += 1;
+                        thread.anchor = started.max(floor);
+                        (thread.anchor + offset).saturating_sub(started)
+                    }
+                    TraceStep::WaitRel { offset } => {
+                        thread.step += 1;
+                        offset
+                    }
+                    TraceStep::Anchor => unreachable!("markers are consumed above"),
+                };
+                let thread = &mut threads[idx];
+                let finished_at = started + latency.max(1);
+                thread.ready_at = finished_at;
+                thread.actions += 1;
+                if let Some(measured) = measured {
+                    reports[idx].measurements.push(Measurement {
+                        at: finished_at,
+                        measured,
+                    });
+                }
+
+                // Continue back-to-back only while (a) the next turn would be
+                // scheduled before every other thread, (b) no interrupt is
+                // due, and (c) the deadline is not reached — i.e. exactly
+                // when the outer scheduler would pick this thread again with
+                // nothing observable in between.
+                let next_at = finished_at;
+                if !(runs_before_others(next_at)
+                    && next_at < thread.interrupts.next_at()
+                    && next_at < deadline)
+                {
+                    break;
+                }
+                self.now = next_at;
+            }
+        }
+
+        // The machine clock ends at the latest point any thread reached (or
+        // the deadline when the limit was hit).
+        let end = threads
+            .iter()
+            .map(|t| t.ready_at)
+            .max()
+            .unwrap_or(self.now)
+            .min(deadline);
+        self.now = self.now.max(end);
+
+        // Fold each program's aggregate into the perf counters — the batched
+        // equivalent of the per-access recording the actor path performs.
+        for (program, report) in programs.iter().zip(reports.iter_mut()) {
+            self.perf.record_trace(program.domain(), &report.summary);
+        }
+        for (thread, report) in threads.iter().zip(reports.iter_mut()) {
+            report.actions = thread.actions;
+            report.stalled_cycles = thread.stalled;
+        }
+
+        SessionReport {
+            finished_at: self.now,
+            hit_limit,
+            programs: reports,
+            actor_actions: threads[programs.len()..]
+                .iter()
+                .map(|t| t.actions)
+                .collect(),
+            actor_stalled: threads[programs.len()..]
+                .iter()
+                .map(|t| t.stalled)
+                .collect(),
         }
     }
 }
@@ -591,6 +890,164 @@ mod tests {
             summary.stalled_cycles[0] > 0,
             "the actor must have been preempted"
         );
+    }
+
+    /// Builds the same workload twice — scripted actors for [`Machine::run`]
+    /// and compiled programs for [`Machine::run_session`] — and asserts the
+    /// two executors observe identical machines afterwards.
+    fn assert_session_matches_run(config: MachineConfig, limit: u64) {
+        let g = CacheGeometry::xeon_l1d();
+        let line = |set: usize, tag: u64| PhysAddr::from_set_and_tag(set, tag, g);
+
+        // Thread 0: loads, an absolute wait, a measured chase, stores.
+        let chase: Vec<PhysAddr> = (0..10).map(|t| line(21, 1_000 + t)).collect();
+        let script_a = vec![
+            Action::Load(line(21, 0)),
+            Action::Load(line(21, 1)),
+            Action::WaitUntil(4_000),
+            Action::MeasuredChase(chase.clone()),
+            Action::Store(line(21, 2)),
+            Action::Flush(line(21, 1)),
+        ];
+        // Thread 1: interleaved loads and waits on another set.
+        let script_b = vec![
+            Action::Load(line(7, 0)),
+            Action::WaitUntil(2_500),
+            Action::Store(line(7, 1)),
+            Action::Load(line(7, 0)),
+        ];
+
+        let mut run_machine = Machine::new(config).unwrap();
+        let mut a = ScriptedActor::new("a", 1, script_a);
+        let mut b = ScriptedActor::new("b", 2, script_b.clone());
+        let summary = {
+            let mut actors: Vec<&mut dyn Actor> = vec![&mut a, &mut b];
+            run_machine.run(&mut actors, limit)
+        };
+
+        let mut program = TraceProgram::new("a", 1);
+        program
+            .load(line(21, 0))
+            .load(line(21, 1))
+            .wait_until(4_000)
+            .chase(&chase)
+            .store(line(21, 2))
+            .ops([TraceOp::flush(line(21, 1))]);
+        let mut session_machine = Machine::new(config).unwrap();
+        let mut b2 = ScriptedActor::new("b", 2, script_b);
+        let report = {
+            let mut extras: Vec<&mut dyn Actor> = vec![&mut b2];
+            session_machine.run_session(std::slice::from_ref(&program), &mut extras, limit)
+        };
+
+        assert_eq!(report.finished_at, summary.finished_at);
+        assert_eq!(report.hit_limit, summary.hit_limit);
+        assert_eq!(session_machine.now(), run_machine.now());
+        assert_eq!(session_machine.perf(1), run_machine.perf(1));
+        assert_eq!(session_machine.perf(2), run_machine.perf(2));
+        assert_eq!(
+            session_machine.hierarchy().stats(),
+            run_machine.hierarchy().stats()
+        );
+        assert_eq!(report.programs[0].latencies(), a.measurements());
+        assert_eq!(report.programs[0].actions, summary.actions[0]);
+        assert_eq!(report.actor_actions, vec![summary.actions[1]]);
+        assert_eq!(
+            report.programs[0].stalled_cycles + report.actor_stalled[0],
+            summary.stalled_cycles.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn run_session_matches_run_on_an_ideal_machine() {
+        assert_session_matches_run(MachineConfig::ideal(PolicyKind::TreePlru, 5), 1_000_000);
+    }
+
+    #[test]
+    fn run_session_matches_run_with_interrupts_and_tsc_noise() {
+        // The realistic machine draws RNG for interrupt scheduling and for
+        // every rdtscp measurement; identical results prove the executors
+        // consume the stream in the same order.
+        let mut config = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, 11);
+        config.interrupts = InterruptConfig {
+            period: 3_000,
+            period_jitter: 1_000,
+            duration: 400,
+            duration_jitter: 150,
+        };
+        assert_session_matches_run(config, 1_000_000);
+    }
+
+    #[test]
+    fn run_session_honours_the_deadline_like_run() {
+        let mut config = MachineConfig::ideal(PolicyKind::TreePlru, 3);
+        config.interrupts = InterruptConfig {
+            period: 1_000,
+            period_jitter: 0,
+            duration: 500,
+            duration_jitter: 0,
+        };
+        assert_session_matches_run(config, 3_000);
+    }
+
+    #[test]
+    fn anchored_waits_follow_the_tlast_discipline() {
+        // A program that anchors at its first operation and waits one period
+        // per symbol must land its operations exactly one period apart.
+        let mut machine = ideal_machine();
+        let addr = PhysAddr(0x8000);
+        let mut program = TraceProgram::new("sender", 2);
+        program
+            .wait_epoch(10_000)
+            .store(addr)
+            .wait_anchor(5_000)
+            .anchor()
+            .store(addr)
+            .wait_anchor(5_000);
+        let report = machine.run_session(std::slice::from_ref(&program), &mut [], 1_000_000);
+        assert!(report.programs[0].finished);
+        // First store issues at the epoch; the first period's wait ends at
+        // epoch + period; the second period's wait is anchored at the second
+        // store's issue time.
+        assert_eq!(report.finished_at, 20_000);
+        assert_eq!(report.programs[0].summary.writes, 2);
+    }
+
+    #[test]
+    fn reset_is_indistinguishable_from_a_fresh_machine() {
+        // Dirty a machine thoroughly under one config, reset it to another,
+        // and require identical behaviour to a truly fresh machine: same
+        // outcomes, same measured values (RNG stream), same perf and stats.
+        let mut reused =
+            Machine::new(MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, 1)).unwrap();
+        for i in 0..500u64 {
+            let addr = PhysAddr(((i * 131) % (1 << 18)) & !63);
+            if i % 3 == 0 {
+                reused.write(4, addr);
+            } else {
+                reused.read(4, addr);
+            }
+        }
+        let target = MachineConfig::xeon_e5_2650(PolicyKind::IntelLike, 99);
+        reused.reset(target).unwrap();
+        let mut fresh = Machine::new(target).unwrap();
+        assert_eq!(reused.now(), 0);
+        assert_eq!(reused.perf(4), PerfCounters::default());
+        for i in 0..400u64 {
+            let addr = PhysAddr(((i * 197) % (1 << 16)) & !63);
+            let (a, b) = if i % 4 == 0 {
+                (reused.write(2, addr), fresh.write(2, addr))
+            } else {
+                (reused.read(2, addr), fresh.read(2, addr))
+            };
+            assert_eq!(a, b, "outcome diverged at access {i}");
+            let (ma, _) = reused.measured_read(2, addr);
+            let (mb, _) = fresh.measured_read(2, addr);
+            assert_eq!(ma, mb, "measurement diverged at access {i}");
+        }
+        assert_eq!(reused.hierarchy().stats(), fresh.hierarchy().stats());
+        assert_eq!(reused.perf(2), fresh.perf(2));
+        assert_eq!(reused.now(), fresh.now());
     }
 
     #[test]

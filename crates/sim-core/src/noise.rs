@@ -11,6 +11,7 @@
 use crate::memlayout::SetLines;
 use crate::process::AddressSpace;
 use crate::program::{Action, Actor, Completion};
+use crate::session::TraceProgram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sim_cache::addr::CacheGeometry;
@@ -29,6 +30,9 @@ pub struct NoisyNeighbor {
     /// store noise is the stronger variant discussed in Sec. VI's closing
     /// caveat.
     store_fraction: f64,
+    /// The construction seed (kept so [`NoisyNeighbor::compile`] can replay
+    /// the identical load/store stream from the start).
+    seed: u64,
     rng: StdRng,
     next_line: usize,
     waiting: bool,
@@ -54,10 +58,35 @@ impl NoisyNeighbor {
             lines: SetLines::build(space, geometry, set, line_count.max(1), 9_000),
             interval: interval.max(1),
             store_fraction: store_fraction.clamp(0.0, 1.0),
+            seed,
             rng: StdRng::seed_from_u64(seed),
             next_line: 0,
             waiting: false,
         }
+    }
+    /// Compiles the noise process's schedule up to (at least) `limit` cycles
+    /// of session time into a [`TraceProgram`].
+    ///
+    /// The actor runs forever; the compiled program covers the whole session
+    /// horizon by over-provisioning iterations (each wait-plus-touch cycle
+    /// consumes more than `interval` cycles, so `limit / interval + 4`
+    /// iterations can never be exhausted before the deadline).  The
+    /// load/store decisions replay the constructor seed's stream, exactly as
+    /// the actor would draw them touch by touch.
+    pub fn compile(&self, limit: u64) -> TraceProgram {
+        let mut program = TraceProgram::new(self.name.clone(), self.domain);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let iterations = limit / self.interval + 4;
+        for k in 0..iterations {
+            program.wait_rel(self.interval);
+            let addr = self.lines.line((k as usize) % self.lines.len());
+            if rng.gen_bool(self.store_fraction) {
+                program.store(addr);
+            } else {
+                program.load(addr);
+            }
+        }
+        program
     }
 }
 

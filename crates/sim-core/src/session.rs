@@ -1,0 +1,376 @@
+//! Compiled trace programs: the data the session executor runs.
+//!
+//! A [`TraceProgram`] is the *compiled* form of one party of an experiment —
+//! the WB sender's per-symbol store bursts, the receiver's init loads,
+//! measured sweeps and period waits, a noise process's periodic touches —
+//! expressed as a flat step list over two arenas (batched [`TraceOp`]s and
+//! chase addresses).  [`crate::machine::Machine::run_session`] interleaves
+//! several programs (plus optional dynamic [`crate::program::Actor`]s) on
+//! the shared cache hierarchy with *exactly* the scheduling semantics of
+//! [`crate::machine::Machine::run`]: one scheduling turn per operation,
+//! per-turn OS-interrupt polls, earliest-ready-first with lowest-index
+//! tie-breaking, and a cycle deadline.  The difference is purely mechanical —
+//! no per-action allocation, no virtual dispatch, no per-access perf
+//! bookkeeping — which is what makes full covert-channel frames run at batch
+//! speed (see the `wb-channel` row of `repro bench-sim`).
+//!
+//! ## Timing vocabulary
+//!
+//! Programs reference times three ways, mirroring what the hand-written
+//! actors computed on the fly:
+//!
+//! * **absolute** — [`TraceStep::WaitUntil`] / [`TraceStep::WaitEpoch`]
+//!   target a fixed cycle (the agreed rendezvous epoch);
+//! * **anchored** — [`TraceStep::Anchor`] latches the issue time of the next
+//!   operation into the program's anchor register, and
+//!   [`TraceStep::WaitAnchor`] waits until `anchor + offset`.  This is the
+//!   `Tlast` discipline of the paper's Algorithm 3: a period begins when its
+//!   first action issues (interrupt stalls included), not when the previous
+//!   wait nominally expired;
+//! * **relative** — [`TraceStep::WaitRel`] waits `offset` cycles from the
+//!   step's own issue time (a noise process's touch interval).
+
+use sim_cache::addr::PhysAddr;
+use sim_cache::line::DomainId;
+use sim_cache::trace::{TraceOp, TraceSummary};
+
+/// One step of a compiled [`TraceProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Execute the ops-arena range `start..end`, one scheduling turn per op
+    /// (identical interleaving to issuing each op as its own action).
+    Ops {
+        /// First op (inclusive) in the program's op arena.
+        start: usize,
+        /// One past the last op.
+        end: usize,
+    },
+    /// A measured, fully serialised pointer chase over the chase-arena range
+    /// `start..end` — one scheduling turn, one `rdtscp` measurement.
+    Chase {
+        /// First address (inclusive) in the program's chase arena.
+        start: usize,
+        /// One past the last address.
+        end: usize,
+    },
+    /// Spin until the absolute cycle `target`.
+    WaitUntil {
+        /// Absolute target cycle.
+        target: u64,
+    },
+    /// Spin until the absolute cycle `target` **and** latch `target` as the
+    /// program's anchor — the rendezvous-epoch wait of the WB sender, whose
+    /// first period starts at the epoch regardless of when the wait ends.
+    WaitEpoch {
+        /// Absolute target cycle, also the new anchor value.
+        target: u64,
+    },
+    /// Spin until `anchor + offset` (one transmission period after the
+    /// current period's start).
+    WaitAnchor {
+        /// Offset past the anchor, in cycles.
+        offset: u64,
+    },
+    /// Latch `max(issue time, floor)` as the anchor and spin until
+    /// `anchor + offset` — the receiver's first-sample alignment (`floor` is
+    /// the agreed epoch, `offset` the sampling phase).
+    WaitFloor {
+        /// Lower bound on the anchor (the rendezvous epoch).
+        floor: u64,
+        /// Offset past the anchor, in cycles.
+        offset: u64,
+    },
+    /// Spin for `offset` cycles from this step's own issue time.
+    WaitRel {
+        /// Relative wait length in cycles.
+        offset: u64,
+    },
+    /// Latch the issue time of the next operation as the program's anchor.
+    /// Markers consume no scheduling turn: the anchor is read at the moment
+    /// the *following* step issues, after any interrupt stalls.
+    Anchor,
+}
+
+/// A compiled per-domain schedule: steps over an op arena and a chase arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProgram {
+    name: String,
+    domain: DomainId,
+    ops: Vec<TraceOp>,
+    chase_addrs: Vec<PhysAddr>,
+    steps: Vec<TraceStep>,
+}
+
+impl TraceProgram {
+    /// Creates an empty program for `domain`.
+    pub fn new<S: Into<String>>(name: S, domain: DomainId) -> TraceProgram {
+        TraceProgram {
+            name: name.into(),
+            domain,
+            ops: Vec::new(),
+            chase_addrs: Vec::new(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cache/perf attribution domain this program runs as.
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// The compiled steps.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// The op arena.
+    pub(crate) fn op_arena(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// The chase arena.
+    pub(crate) fn chase_arena(&self) -> &[PhysAddr] {
+        &self.chase_addrs
+    }
+
+    /// Total scheduling turns this program will take (one per op, chase,
+    /// wait and the final Done), assuming it runs to completion.
+    pub fn action_count(&self) -> u64 {
+        let turns: u64 = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                TraceStep::Ops { start, end } => (end - start) as u64,
+                TraceStep::Anchor => 0,
+                _ => 1,
+            })
+            .sum();
+        turns + 1 // the Done turn
+    }
+
+    /// Appends a batch of ops (one scheduling turn each).
+    pub fn ops<I: IntoIterator<Item = TraceOp>>(&mut self, ops: I) -> &mut Self {
+        let start = self.ops.len();
+        self.ops.extend(ops);
+        let end = self.ops.len();
+        if end > start {
+            self.steps.push(TraceStep::Ops { start, end });
+        }
+        self
+    }
+
+    /// Appends a single demand load.
+    pub fn load(&mut self, addr: PhysAddr) -> &mut Self {
+        self.ops([TraceOp::read(addr)])
+    }
+
+    /// Appends a single demand store.
+    pub fn store(&mut self, addr: PhysAddr) -> &mut Self {
+        self.ops([TraceOp::write(addr)])
+    }
+
+    /// Appends a measured pointer chase over `addrs`.
+    pub fn chase(&mut self, addrs: &[PhysAddr]) -> &mut Self {
+        let start = self.chase_addrs.len();
+        self.chase_addrs.extend_from_slice(addrs);
+        self.steps.push(TraceStep::Chase {
+            start,
+            end: self.chase_addrs.len(),
+        });
+        self
+    }
+
+    /// Appends an absolute wait.
+    pub fn wait_until(&mut self, target: u64) -> &mut Self {
+        self.steps.push(TraceStep::WaitUntil { target });
+        self
+    }
+
+    /// Appends the rendezvous-epoch wait (absolute wait that also anchors).
+    pub fn wait_epoch(&mut self, target: u64) -> &mut Self {
+        self.steps.push(TraceStep::WaitEpoch { target });
+        self
+    }
+
+    /// Appends a wait until `anchor + offset`.
+    pub fn wait_anchor(&mut self, offset: u64) -> &mut Self {
+        self.steps.push(TraceStep::WaitAnchor { offset });
+        self
+    }
+
+    /// Appends the anchored floor wait (`anchor := max(now, floor)`, wait
+    /// until `anchor + offset`).
+    pub fn wait_floor(&mut self, floor: u64, offset: u64) -> &mut Self {
+        self.steps.push(TraceStep::WaitFloor { floor, offset });
+        self
+    }
+
+    /// Appends a wait of `offset` cycles relative to its own issue time.
+    pub fn wait_rel(&mut self, offset: u64) -> &mut Self {
+        self.steps.push(TraceStep::WaitRel { offset });
+        self
+    }
+
+    /// Appends an anchor marker (no scheduling turn).
+    pub fn anchor(&mut self) -> &mut Self {
+        self.steps.push(TraceStep::Anchor);
+        self
+    }
+}
+
+/// One `rdtscp` measurement taken by a program's [`TraceStep::Chase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Measurement {
+    /// Cycle at which the measured operation finished.
+    pub at: u64,
+    /// The value the `rdtscp` pair reported (noise model applied).
+    pub measured: u64,
+}
+
+/// Per-program outcome of one [`crate::machine::Machine::run_session`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReport {
+    /// The program's name.
+    pub name: String,
+    /// The program's domain.
+    pub domain: DomainId,
+    /// Aggregate of every memory operation the program executed (the same
+    /// counters `perf` is fed with).
+    pub summary: TraceSummary,
+    /// The measurements taken by `Chase` steps, in order.
+    pub measurements: Vec<Measurement>,
+    /// Scheduling turns consumed (ops + chases + waits + Done).
+    pub actions: u64,
+    /// Cycles spent stalled by OS interruptions.
+    pub stalled_cycles: u64,
+    /// Whether the program ran to completion before the deadline.
+    pub finished: bool,
+}
+
+impl ProgramReport {
+    /// The measured latencies only, in observation order.
+    pub fn latencies(&self) -> Vec<u64> {
+        self.measurements.iter().map(|m| m.measured).collect()
+    }
+}
+
+/// Outcome of one [`crate::machine::Machine::run_session`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Cycle at which the session stopped.
+    pub finished_at: u64,
+    /// Whether the cycle limit ended the session (rather than every thread
+    /// finishing).
+    pub hit_limit: bool,
+    /// One report per compiled program, in input order.
+    pub programs: Vec<ProgramReport>,
+    /// Actions executed per dynamic actor, in input order.
+    pub actor_actions: Vec<u64>,
+    /// Cycles each dynamic actor spent stalled by OS interruptions.
+    pub actor_stalled: Vec<u64>,
+}
+
+impl SessionReport {
+    /// The report of the program named `name`, if any.
+    pub fn program(&self, name: &str) -> Option<&ProgramReport> {
+        self.programs.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of all program summaries (simulated work of the whole session,
+    /// excluding dynamic actors).
+    pub fn total_summary(&self) -> TraceSummary {
+        let mut total = TraceSummary::default();
+        for program in &self.programs {
+            total.merge(&program.summary);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_steps_and_arenas() {
+        let mut program = TraceProgram::new("p", 3);
+        program
+            .load(PhysAddr(0x40))
+            .store(PhysAddr(0x80))
+            .wait_epoch(1_000)
+            .anchor()
+            .chase(&[PhysAddr(0xc0), PhysAddr(0x100)])
+            .wait_anchor(500)
+            .wait_rel(10)
+            .wait_floor(2_000, 250)
+            .wait_until(9_000);
+        assert_eq!(program.name(), "p");
+        assert_eq!(program.domain(), 3);
+        assert_eq!(program.steps().len(), 9);
+        assert_eq!(program.op_arena().len(), 2);
+        assert_eq!(program.chase_arena().len(), 2);
+        // 2 ops + 1 chase + 5 waits + Done; the anchor marker is free.
+        assert_eq!(program.action_count(), 9);
+    }
+
+    #[test]
+    fn empty_ops_batch_adds_no_step() {
+        let mut program = TraceProgram::new("p", 1);
+        program.ops(std::iter::empty());
+        assert!(program.steps().is_empty());
+        assert_eq!(program.action_count(), 1, "only the Done turn");
+    }
+
+    #[test]
+    fn session_report_finds_programs_and_merges_summaries() {
+        let a = TraceSummary {
+            ops: 3,
+            cycles: 30,
+            ..TraceSummary::default()
+        };
+        let b = TraceSummary {
+            ops: 2,
+            cycles: 12,
+            ..TraceSummary::default()
+        };
+        let report = SessionReport {
+            finished_at: 42,
+            hit_limit: false,
+            programs: vec![
+                ProgramReport {
+                    name: "sender".into(),
+                    domain: 2,
+                    summary: a,
+                    measurements: vec![],
+                    actions: 4,
+                    stalled_cycles: 0,
+                    finished: true,
+                },
+                ProgramReport {
+                    name: "receiver".into(),
+                    domain: 1,
+                    summary: b,
+                    measurements: vec![Measurement {
+                        at: 7,
+                        measured: 120,
+                    }],
+                    actions: 3,
+                    stalled_cycles: 0,
+                    finished: true,
+                },
+            ],
+            actor_actions: vec![],
+            actor_stalled: vec![],
+        };
+        assert_eq!(report.program("receiver").unwrap().latencies(), vec![120]);
+        assert!(report.program("nope").is_none());
+        let total = report.total_summary();
+        assert_eq!(total.ops, 5);
+        assert_eq!(total.cycles, 42);
+    }
+}

@@ -13,8 +13,9 @@
 //! the printed series.
 
 use dirty_cache_repro::wb_channel::capacity::PAPER_PERIODS;
-use dirty_cache_repro::wb_channel::channel::{ChannelConfig, CovertChannel};
+use dirty_cache_repro::wb_channel::channel::ChannelConfig;
 use dirty_cache_repro::wb_channel::encoding::SymbolEncoding;
+use dirty_cache_repro::wb_channel::session::ChannelSession;
 
 fn sweep(
     label: &str,
@@ -32,8 +33,8 @@ fn sweep(
             .period_cycles(period)
             .seed(7 ^ period)
             .build()?;
-        let mut channel = CovertChannel::new(config)?;
-        let report = channel.evaluate(frames, 128 * encoding.bits_per_symbol())?;
+        let mut session = ChannelSession::new(config)?;
+        let report = session.evaluate(frames, 128 * encoding.bits_per_symbol())?;
         println!(
             "{:>12} {:>12.0} {:>9.2}%",
             period,

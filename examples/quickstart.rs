@@ -9,11 +9,14 @@
 //! This sets up the paper's environment — two processes without shared
 //! memory, pinned to the two hyper-threads of a simulated Xeon E5-2650 —
 //! and transmits a short ASCII message through the dirty-state timing channel
-//! at 400 kbps (binary symbols, `Ts = Tr = 5500` cycles).
+//! at 400 kbps (binary symbols, `Ts = Tr = 5500` cycles).  The transmission
+//! runs through the session layer: the whole frame is compiled into
+//! per-domain trace programs and executed by the batched session executor.
 
 use analysis::edit_distance::{bits_to_bytes, bytes_to_bits};
-use dirty_cache_repro::wb_channel::channel::{ChannelConfig, CovertChannel};
+use dirty_cache_repro::wb_channel::channel::ChannelConfig;
 use dirty_cache_repro::wb_channel::encoding::SymbolEncoding;
+use dirty_cache_repro::wb_channel::session::ChannelSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secret = b"dirty bits leak!";
@@ -28,14 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .period_cycles(5_500) // 400 kbps at 2.2 GHz
         .seed(42)
         .build()?;
-    let mut channel = CovertChannel::new(config)?;
+    let mut session = ChannelSession::new(config)?;
     println!(
         "calibrated threshold: {:.0} cycles (clean sweep vs one dirty line)",
-        channel.decoder().binary_threshold().unwrap_or(f64::NAN)
+        session.decoder().binary_threshold().unwrap_or(f64::NAN)
     );
 
     let payload = bytes_to_bits(secret);
-    let report = channel.transmit_bits(&payload)?;
+    let report = session.transmit_bits(&payload)?;
 
     // Strip the 16-bit preamble before turning the payload back into bytes.
     let received_payload: Vec<bool> = report
@@ -60,6 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "latency samples (first 16): {:?}",
         &report.latencies[..16.min(report.latencies.len())]
+    );
+    let usage = session.sim_usage();
+    println!(
+        "simulated work     : {} accesses, {} cycles over {} frame(s)",
+        usage.accesses(),
+        usage.cycles(),
+        usage.frames
     );
     Ok(())
 }
