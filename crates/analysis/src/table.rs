@@ -557,6 +557,47 @@ mod tests {
     }
 
     #[test]
+    fn ndjson_of_an_empty_table_is_just_the_header_line() {
+        // A scenario can legitimately assemble zero rows (e.g. a filtered
+        // sweep); the stream must still announce the table so consumers see
+        // the stem and columns.
+        let headless = Table::new("", &[]);
+        assert_eq!(
+            headless.to_ndjson("empty"),
+            "{\"type\":\"table\",\"stem\":\"empty\",\"title\":\"\",\"headers\":[]}\n"
+        );
+        let rowless = Table::new("No rows", &["a", "b"]);
+        let ndjson = rowless.to_ndjson("rowless");
+        assert_eq!(ndjson.lines().count(), 1);
+        assert!(ndjson.ends_with('\n'));
+        assert!(!ndjson.contains("\"type\":\"row\""));
+    }
+
+    #[test]
+    fn ndjson_and_json_pass_unicode_cells_through_verbatim() {
+        // Non-ASCII is emitted as raw UTF-8, not \u escapes: the NDJSON
+        // consumer reads lines as UTF-8 and byte-for-byte determinism must
+        // not depend on an escaping pass.
+        let mut t = Table::new("BER ≈ 0 — gréât", &["préset", "误码率"]);
+        t.push_row(["arm-poc ✓", "0.00 %"]);
+        let ndjson = t.to_ndjson("ünïcode");
+        assert!(ndjson.contains("\"BER ≈ 0 — gréât\""));
+        assert!(ndjson.contains("\"误码率\""));
+        assert!(ndjson.contains("\"arm-poc ✓\""));
+        assert_eq!(ndjson.lines().count(), 2);
+        // And the strict JSON form round-trips the same cells unchanged.
+        let parsed = Table::from_json(&t.to_json()).expect("unicode round trip");
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width 2 does not match 3 headers")]
+    fn extend_rows_rejects_mismatched_row_widths_in_debug() {
+        let mut t = sample_table();
+        t.extend_rows(vec![vec!["only".to_owned(), "two".to_owned()]]);
+    }
+
+    #[test]
     fn formatting_helpers() {
         assert_eq!(percent(0.688), "68.8%");
         assert_eq!(percent2(0.0359), "3.59%");

@@ -12,6 +12,9 @@
 //! * **`wb-frame`** — one WB-channel frame period: the sender dirties `d`
 //!   lines of the target set, the receiver replaces the set with a 10-line
 //!   replacement sweep (alternating sets A/B);
+//! * **`wb-frame-noninclusive`** — the same frame period on the AMD-shaped
+//!   non-inclusive preset, gating the inclusion-policy branches of the
+//!   spill chain;
 //! * **`prime-probe`** — a prime+probe pass over every L1 set, the baseline
 //!   channel pattern of the Figure 8 comparison;
 //! * **`wb-channel`** — **full covert-channel frame transmissions** through
@@ -58,7 +61,7 @@ pub const TRACE_COLUMN: usize = 0;
 /// The JSON column holding accesses/sec, for baseline comparison.
 pub const ACCESSES_PER_SEC_COLUMN: usize = 4;
 
-/// Runs the three canonical traces and returns their measurements.
+/// Runs the canonical traces and returns their measurements.
 ///
 /// `full` selects the longer measurement window.  The cache *contents* the
 /// traces produce are deterministic; only the wall-clock columns vary between
@@ -68,6 +71,7 @@ pub fn run(full: bool) -> Vec<TraceResult> {
     vec![
         pointer_chase(min_seconds),
         wb_frame(min_seconds),
+        wb_frame_noninclusive(min_seconds),
         prime_probe(min_seconds),
         wb_channel(min_seconds),
     ]
@@ -230,6 +234,37 @@ fn wb_frame(min_seconds: f64) -> TraceResult {
         (receiver, sweep(2_000)),
     ];
     measure("wb-frame", &mut h, &ops, min_seconds)
+}
+
+/// The same frame-period pattern on the AMD-shaped *non-inclusive* LLC —
+/// the hierarchy-matrix hot path.  Gated separately from `wb-frame` so a
+/// slowdown confined to the inclusion-policy branches of the spill chain
+/// cannot hide behind the unchanged default-path number.
+fn wb_frame_noninclusive(min_seconds: f64) -> TraceResult {
+    let config = HierarchyPreset::AmdNonInclusive
+        .config(PolicyKind::TreePlru, 16, 2)
+        .expect("preset config is valid");
+    let mut h = CacheHierarchy::new(config).expect("preset hierarchy builds");
+    let g = h.l1_geometry();
+    let sender = AccessContext::for_domain(2);
+    let receiver = AccessContext::for_domain(1);
+    let set = 21usize;
+    let d = 4u64;
+    let stores: Vec<TraceOp> = (0..d)
+        .map(|t| TraceOp::write(PhysAddr::from_set_and_tag(set, t, g)))
+        .collect();
+    let sweep = |base: u64| -> Vec<TraceOp> {
+        (0..10u64)
+            .map(|t| TraceOp::read(PhysAddr::from_set_and_tag(set, base + t, g)))
+            .collect()
+    };
+    let ops = vec![
+        (sender, stores.clone()),
+        (receiver, sweep(1_000)),
+        (sender, stores),
+        (receiver, sweep(2_000)),
+    ];
+    measure("wb-frame-noninclusive", &mut h, &ops, min_seconds)
 }
 
 /// A prime+probe pass over every L1 set.

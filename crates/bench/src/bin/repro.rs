@@ -64,9 +64,9 @@ const USAGE: &str = "usage:\n  repro list [--quick|--full]\n  repro run <id|glob
     repro serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--workers K]\n              \
     [--seed SEED]\n\
     \nscenario ids (see `repro list`): table1 table2 table4 table5 table6 table7\n\
-    fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel; globs like 'table*' and\n\
-    the keyword `all` also work\n\
-    \nbench-sim measures cache-hierarchy throughput (accesses/sec) on three\n\
+    fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel hierarchy-matrix; globs\n\
+    like 'table*' and the keyword `all` also work\n\
+    \nbench-sim measures cache-hierarchy throughput (accesses/sec) on a set of\n\
     canonical traces, writes BENCH_sim.{md,csv,json} under --out, and exits\n\
     non-zero when a trace regresses more than --max-regress percent (default\n\
     30) below the --baseline table\n\
@@ -83,29 +83,51 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Lists the registry grouped by paper section, one sub-table per section,
+/// with each scenario's sweep-axis arity (points at the selected scale) —
+/// so the size of a sweep like `hierarchy-matrix` is visible before running
+/// it.
 fn list(registry: &Registry, scale: Scale) {
-    let mut table = Table::new(
-        format!(
-            "Registered scenarios ({} points at --{} scale)",
-            registry
-                .scenarios()
-                .iter()
-                .map(|s| (s.points)(scale))
-                .sum::<usize>(),
-            scale.label(),
-        ),
-        &["id", "paper ref", "section", "points", "summary"],
-    );
-    for scenario in registry.scenarios() {
-        table.push_row([
-            scenario.id.to_owned(),
-            scenario.paper_ref.to_owned(),
-            scenario.section.to_owned(),
-            (scenario.points)(scale).to_string(),
-            scenario.summary.to_owned(),
-        ]);
+    let scenarios = registry.scenarios();
+    let mut sections: Vec<&str> = Vec::new();
+    for scenario in scenarios {
+        if !sections.contains(&scenario.section) {
+            sections.push(scenario.section);
+        }
     }
-    emit(&table);
+    emit(&format_args!(
+        "Registered scenarios: {} across {} sections, {} points at --{} scale\n",
+        scenarios.len(),
+        sections.len(),
+        scenarios.iter().map(|s| (s.points)(scale)).sum::<usize>(),
+        scale.label(),
+    ));
+    for section in sections {
+        let group: Vec<_> = scenarios.iter().filter(|s| s.section == section).collect();
+        let mut table = Table::new(
+            format!(
+                "{section} ({} scenario{}, {} point{})",
+                group.len(),
+                if group.len() == 1 { "" } else { "s" },
+                group.iter().map(|s| (s.points)(scale)).sum::<usize>(),
+                if group.iter().map(|s| (s.points)(scale)).sum::<usize>() == 1 {
+                    ""
+                } else {
+                    "s"
+                },
+            ),
+            &["id", "paper ref", "points", "summary"],
+        );
+        for scenario in group {
+            table.push_row([
+                scenario.id.to_owned(),
+                scenario.paper_ref.to_owned(),
+                (scenario.points)(scale).to_string(),
+                scenario.summary.to_owned(),
+            ]);
+        }
+        emit(&table);
+    }
 }
 
 /// Writes the table's three formats, then echoes it to stdout — files first,

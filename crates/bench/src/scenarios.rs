@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 use runner::scale::Scale;
 use runner::scenario::{PointCtx, PointOutput, Scenario, Seeding};
 use runner::Registry;
+use sim_cache::hierarchy::HierarchyPreset;
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::MachineConfig;
 use wb_channel::calibration::{access_latency_classes, latency_cdfs, CalibrationConfig};
@@ -853,10 +854,109 @@ pub const SIDECHANNEL: Scenario = Scenario {
     assemble: sidechannel_assemble,
 };
 
+// --------------------------------------------------------- hierarchy matrix
+
+/// L1 replacement policies swept by the hierarchy matrix (the policies the
+/// paper discusses for commercial parts, Sec. VI-A).
+pub const MATRIX_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::TreePlru,
+    PolicyKind::Srrip,
+    PolicyKind::Nru,
+    PolicyKind::Random,
+    PolicyKind::IntelLike,
+];
+
+/// LLC associativities swept by the hierarchy matrix (16 is the paper's
+/// scaled LLC; 8 halves the ways at the same capacity).
+pub const MATRIX_LLC_ASSOC: [usize; 2] = [16, 8];
+
+/// Decomposes a matrix point index into `(preset, llc_ways, l1_policy)`.
+///
+/// Policy varies fastest, then associativity, then preset — the same order
+/// the assembled grid lists its rows in.
+pub fn matrix_axes(index: usize) -> (HierarchyPreset, usize, PolicyKind) {
+    let policy = MATRIX_POLICIES[index % MATRIX_POLICIES.len()];
+    let rest = index / MATRIX_POLICIES.len();
+    let assoc = MATRIX_LLC_ASSOC[rest % MATRIX_LLC_ASSOC.len()];
+    let preset = HierarchyPreset::ALL[rest / MATRIX_LLC_ASSOC.len()];
+    (preset, assoc, policy)
+}
+
+fn hierarchy_matrix_points(_: Scale) -> usize {
+    HierarchyPreset::ALL.len() * MATRIX_LLC_ASSOC.len() * MATRIX_POLICIES.len()
+}
+
+fn hierarchy_matrix_point(ctx: &PointCtx) -> Result<PointOutput, String> {
+    let (preset, llc_ways, policy) = matrix_axes(ctx.index);
+    let hierarchy = preset
+        .config(policy, llc_ways, ctx.seed)
+        .map_err(|e| e.to_string())?;
+    // The grid isolates the *mechanism* across hierarchy shapes, so it runs
+    // on the quiet machine (no OS interrupts, ideal rdtscp) — BER here is
+    // pure cache behaviour, the Table IV analogue per preset.
+    let config = ChannelConfig::builder()
+        .encoding(SymbolEncoding::binary(1).map_err(err)?)
+        .period_cycles(5_500)
+        .interrupts(sim_core::sched::InterruptConfig::none())
+        .tsc(sim_core::tsc::TscConfig::ideal())
+        .hierarchy(hierarchy)
+        .seed(ctx.seed)
+        .build()
+        .map_err(err)?;
+    let mut channel = CovertChannel::new(config).map_err(err)?;
+    let report = channel
+        .evaluate(ctx.scale.sizes().frames, 128)
+        .map_err(err)?;
+    let ber = report.mean_bit_error_rate;
+    let mut output = PointOutput::row([
+        preset.label().to_owned(),
+        format!("{:?}", preset.inclusion()).to_lowercase(),
+        llc_ways.to_string(),
+        policy.label().to_owned(),
+        fixed(rate_kbps(1, 5_500, CLOCK_GHZ), 0),
+        percent2(ber),
+        if ber == 0.0 { "yes" } else { "no" }.to_owned(),
+    ]);
+    output.values = vec![ber];
+    Ok(with_sim_usage(output, channel.sim_usage()))
+}
+
+fn hierarchy_matrix_assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {
+    vec![(
+        "hierarchy_matrix".to_owned(),
+        assemble_rows(
+            "Hierarchy-diversity matrix: quiet-machine BER per preset x LLC ways x L1 policy",
+            &[
+                "preset",
+                "inclusion",
+                "LLC ways",
+                "L1 policy",
+                "rate (kbps)",
+                "mean BER",
+                "BER == 0?",
+            ],
+            outputs,
+        ),
+    )]
+}
+
+/// The commercial-processor hierarchy sweep: a Table-4-style BER grid per
+/// preset, proving where the dirty-state signal survives.
+pub const HIERARCHY_MATRIX: Scenario = Scenario {
+    id: "hierarchy-matrix",
+    paper_ref: "Table IV",
+    section: "Sec. IV",
+    summary: "quiet-machine BER grid across inclusion/latency presets and L1 policies",
+    seeding: Seeding::Derived,
+    points: hierarchy_matrix_points,
+    run_point: hierarchy_matrix_point,
+    assemble: hierarchy_matrix_assemble,
+};
+
 // ---------------------------------------------------------------- registry
 
 /// All scenarios, in the paper's narrative order.
-pub const ALL_SCENARIOS: [Scenario; 13] = [
+pub const ALL_SCENARIOS: [Scenario; 14] = [
     TABLE1,
     TABLE2,
     TABLE4,
@@ -870,6 +970,7 @@ pub const ALL_SCENARIOS: [Scenario; 13] = [
     BANDWIDTH,
     DEFENSES,
     SIDECHANNEL,
+    HIERARCHY_MATRIX,
 ];
 
 /// Builds the registry of every experiment in the evaluation.

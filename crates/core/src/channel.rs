@@ -16,6 +16,7 @@ use crate::error::Error;
 use crate::protocol::{Decoder, Frame};
 use crate::session::{ChannelSession, SimUsage};
 use analysis::edit_distance::ErrorBreakdown;
+use sim_cache::hierarchy::HierarchyConfig;
 use sim_cache::policy::PolicyKind;
 use sim_core::machine::MachineConfig;
 use sim_core::sched::InterruptConfig;
@@ -66,6 +67,13 @@ pub struct ChannelConfig {
     pub tsc: TscConfig,
     /// Optional noisy-neighbour process.
     pub noise: Option<NoiseConfig>,
+    /// Optional hierarchy override (inclusion policy, write-back routing,
+    /// latencies, LLC shape).  `None` runs the paper's default machine
+    /// ([`sim_cache::hierarchy::HierarchyConfig::xeon_e5_2650`]); the
+    /// hierarchy-matrix scenario injects commercial-processor presets here.
+    /// The override's own `seed` field is ignored — per-frame seeds are
+    /// stamped in, exactly as on the default path.
+    pub hierarchy: Option<HierarchyConfig>,
     /// Calibration sample count per symbol level.
     pub calibration_samples: usize,
     /// Master seed.
@@ -80,6 +88,10 @@ impl ChannelConfig {
 
     pub(crate) fn machine_config(&self, seed: u64) -> MachineConfig {
         let mut machine = MachineConfig::xeon_e5_2650(self.policy, seed);
+        if let Some(mut hierarchy) = self.hierarchy {
+            hierarchy.seed = seed;
+            machine.hierarchy = hierarchy;
+        }
         machine.interrupts = self.interrupts;
         machine.tsc = self.tsc;
         machine
@@ -105,6 +117,7 @@ pub struct ChannelConfigBuilder {
     interrupts: InterruptConfig,
     tsc: TscConfig,
     noise: Option<NoiseConfig>,
+    hierarchy: Option<HierarchyConfig>,
     calibration_samples: usize,
     seed: u64,
 }
@@ -123,6 +136,7 @@ impl ChannelConfigBuilder {
             interrupts: InterruptConfig::pinned_quiet(),
             tsc: TscConfig::xeon_e5_2650(),
             noise: None,
+            hierarchy: None,
             calibration_samples: 120,
             seed: 1,
         }
@@ -176,6 +190,17 @@ impl ChannelConfigBuilder {
         self
     }
 
+    /// Overrides the simulated machine's cache hierarchy (the sweep axis of
+    /// the hierarchy-matrix scenario).  The override's L1 must keep the
+    /// paper's 64-set, 8-way shape — the channel's eviction sets and the
+    /// `target_set`/`replacement_size` validation are built on it — and its
+    /// L1 replacement policy becomes the channel's `policy`.
+    pub fn hierarchy(&mut self, hierarchy: HierarchyConfig) -> &mut Self {
+        self.hierarchy = Some(hierarchy);
+        self.policy = hierarchy.l1d.replacement;
+        self
+    }
+
     /// Sets the number of calibration samples per symbol level.
     pub fn calibration_samples(&mut self, samples: usize) -> &mut Self {
         self.calibration_samples = samples;
@@ -213,6 +238,18 @@ impl ChannelConfigBuilder {
                 reason: "replacement sets need at least W = 8 lines".into(),
             });
         }
+        if let Some(hierarchy) = self.hierarchy {
+            let l1 = hierarchy.l1d.geometry;
+            if l1.num_sets != 64 || l1.associativity != 8 {
+                return Err(Error::InvalidConfig {
+                    field: "hierarchy",
+                    reason: format!(
+                        "the channel needs the paper's 64-set, 8-way L1, got {} sets x {} ways",
+                        l1.num_sets, l1.associativity
+                    ),
+                });
+            }
+        }
         Ok(ChannelConfig {
             encoding: self.encoding.clone(),
             period_cycles: self.period_cycles,
@@ -222,6 +259,7 @@ impl ChannelConfigBuilder {
             interrupts: self.interrupts,
             tsc: self.tsc,
             noise: self.noise,
+            hierarchy: self.hierarchy,
             calibration_samples: self.calibration_samples,
             seed: self.seed,
         })
@@ -376,6 +414,61 @@ mod tests {
         let config = ChannelConfig::default();
         assert_eq!(config.period_cycles, 5_500);
         assert_eq!(config.replacement_size, 10);
+    }
+
+    #[test]
+    fn hierarchy_override_is_validated_and_syncs_the_policy() {
+        use sim_cache::hierarchy::HierarchyPreset;
+        // A non-paper L1 shape is rejected.
+        let mut bad = HierarchyConfig::xeon_e5_2650(PolicyKind::TreePlru, 0);
+        bad.l1d = sim_cache::config::CacheConfig::builder(sim_cache::config::CacheLevel::L1D)
+            .size_bytes(16 * 1024)
+            .associativity(4)
+            .build()
+            .unwrap();
+        assert!(ChannelConfig::builder().hierarchy(bad).build().is_err());
+        // A preset hierarchy is accepted, drives the machine, and its L1
+        // policy becomes the channel policy.
+        let preset = HierarchyPreset::ArmPoc
+            .config(PolicyKind::Srrip, 8, 0)
+            .unwrap();
+        let config = ChannelConfig::builder().hierarchy(preset).build().unwrap();
+        assert_eq!(config.policy, PolicyKind::Srrip);
+        let machine = config.machine_config(42);
+        assert_eq!(machine.hierarchy.latency, preset.latency);
+        assert_eq!(machine.hierarchy.inclusion, preset.inclusion);
+        assert_eq!(machine.hierarchy.seed, 42, "per-frame seeds are stamped");
+    }
+
+    #[test]
+    fn quiet_transmission_is_error_free_on_every_hierarchy_preset() {
+        use sim_cache::hierarchy::HierarchyPreset;
+        // The paper's mechanism is an L1 dirty-eviction stall; it must
+        // survive every commercial-processor hierarchy shape on the quiet
+        // machine.
+        for preset in HierarchyPreset::ALL {
+            let hierarchy = preset.config(PolicyKind::TreePlru, 16, 0).unwrap();
+            let config = ChannelConfig::builder()
+                .encoding(SymbolEncoding::binary(1).unwrap())
+                .interrupts(InterruptConfig::none())
+                .tsc(TscConfig::ideal())
+                .calibration_samples(60)
+                .seed(11)
+                .hierarchy(hierarchy)
+                .build()
+                .unwrap();
+            let mut channel = CovertChannel::new(config).unwrap();
+            let payload: Vec<bool> = (0..48).map(|i| i % 3 == 0).collect();
+            let report = channel.transmit_bits(&payload).unwrap();
+            assert_eq!(
+                report.edit_distance,
+                0,
+                "preset {} must decode exactly: sent {:?} got {:?}",
+                preset.label(),
+                report.sent_bits,
+                report.received_bits
+            );
+        }
     }
 
     #[test]

@@ -514,16 +514,56 @@ impl Cache {
     /// installed dirty.  Returns any line evicted to make room.
     #[inline]
     pub fn accept_writeback(&mut self, addr: PhysAddr, ctx: AccessContext) -> Option<EvictedLine> {
+        self.accept_victim(addr, ctx, true)
+    }
+
+    /// Receives a victim from the level above, clean or dirty.
+    ///
+    /// The exclusive-LLC install path: an exclusive last level is a victim
+    /// cache, so *clean* upper-level victims are installed too (unlike
+    /// [`Cache::accept_writeback`], which only ever carries dirty data).  A
+    /// resident line is refreshed and, when `dirty`, marked dirty; a missing
+    /// line is installed with the given dirty state.  Returns any line
+    /// evicted to make room.
+    #[inline]
+    pub fn accept_victim(
+        &mut self,
+        addr: PhysAddr,
+        ctx: AccessContext,
+        dirty: bool,
+    ) -> Option<EvictedLine> {
         let (set, tag) = self.set_and_tag(addr);
         if let Some(way) = self.find(set, tag) {
-            if self.config.write_policy == WritePolicy::WriteBack {
+            if dirty && self.config.write_policy == WritePolicy::WriteBack {
                 self.masks[set].dirty |= Self::bit(way);
             }
             self.policy.on_hit(set, way);
             return None;
         }
-        let outcome = self.fill_missing_at(set, tag, ctx, true, false);
+        let outcome = self.fill_missing_at(set, tag, ctx, dirty, false);
         outcome.evicted
+    }
+
+    /// Removes the line containing `addr` without touching any counter,
+    /// returning `Some(was_dirty)` if it was resident.
+    ///
+    /// This is the residency-maintenance primitive behind inclusion
+    /// policies: inclusive back-invalidation (an LLC eviction forcing the
+    /// upper-level copies out) and exclusive promotion (an LLC hit moving
+    /// the line up) both *relocate* a line rather than flushing it, so the
+    /// hierarchy attributes the traffic in [`crate::stats::HierarchyStats`]
+    /// instead of this level's flush/write-back counters.
+    pub fn remove_line(&mut self, addr: PhysAddr) -> Option<bool> {
+        let (set, tag) = self.set_and_tag(addr);
+        let way = self.find(set, tag)?;
+        let bit = Self::bit(way);
+        let masks = &mut self.masks[set];
+        let was_dirty = masks.dirty & bit != 0;
+        masks.valid &= !bit;
+        masks.dirty &= !bit;
+        masks.locked &= !bit;
+        self.policy.on_invalidate(set, way);
+        Some(was_dirty)
     }
 
     /// Invalidates the line containing `addr` (`clflush`), returning

@@ -44,6 +44,42 @@ fn fill_seed(seed: u64) -> u64 {
     }
 }
 
+/// How the LLC relates to the levels above it.
+///
+/// Commercial parts differ here (Intel server parts were classically
+/// inclusive, AMD Zen LLCs are non-inclusive or exclusive victim caches),
+/// and the WB channel's signal path differs with them — which is why the
+/// hierarchy-matrix scenario sweeps this axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InclusionPolicy {
+    /// Upper levels hold a subset of the LLC: fills install at every level
+    /// and an LLC eviction back-invalidates the L1/L2 copies (dirty copies
+    /// are written back to memory on the way out).
+    Inclusive,
+    /// Fill-inclusive but eviction-independent: fills install at every
+    /// level, yet an LLC eviction leaves upper-level copies alone.
+    NonInclusive,
+    /// The LLC is a victim cache: fills bypass it entirely, L2 victims —
+    /// clean or dirty — are installed into it, and an LLC hit *moves* the
+    /// line up (single-copy residency: a line valid in the LLC is valid
+    /// nowhere above it).
+    Exclusive,
+}
+
+/// Where a dirty victim's data is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum WritebackRouting {
+    /// Dirty victims stop at the next cache level (the Intel/AMD shape).
+    NextLevel,
+    /// ARM point-of-coherency rules: a dirty victim's data is written
+    /// through to memory rather than parking in the next level, so deep
+    /// levels stay clean.  Residency is unaffected — only the destination
+    /// of the write (and the memory-access accounting) changes.
+    PointOfCoherency,
+}
+
 /// Configuration of a full hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -54,6 +90,10 @@ pub struct HierarchyConfig {
     pub l2: CacheConfig,
     /// Last-level cache configuration.
     pub llc: CacheConfig,
+    /// LLC inclusion policy.
+    pub inclusion: InclusionPolicy,
+    /// Dirty-victim routing.
+    pub writeback: WritebackRouting,
     /// Latency model.
     pub latency: LatencyModel,
     /// Optional L1 next-line prefetcher (disabled by default; the
@@ -84,6 +124,8 @@ impl HierarchyConfig {
             l1d: CacheConfig::xeon_l1d(l1_policy),
             l2: CacheConfig::xeon_l2(),
             llc: CacheConfig::scaled_llc(),
+            inclusion: InclusionPolicy::Inclusive,
+            writeback: WritebackRouting::NextLevel,
             latency: LatencyModel::xeon_e5_2650(),
             l1_prefetch: None,
             l1_random_fill: None,
@@ -100,6 +142,115 @@ impl HierarchyConfig {
     }
 }
 
+/// A named commercial-processor hierarchy shape — the sweep axis of the
+/// `hierarchy-matrix` scenario.
+///
+/// Each preset bundles an [`InclusionPolicy`], a [`WritebackRouting`] and a
+/// [`LatencyModel`]; the L1/L2 geometries stay at the paper's Table III
+/// values so the channel's eviction sets (64 L1 sets, 8 ways) keep working,
+/// and only the LLC associativity varies along the matrix's second axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HierarchyPreset {
+    /// Intel server shape: inclusive LLC, Table IV latencies (the default
+    /// everywhere outside the matrix — [`HierarchyConfig::xeon_e5_2650`]).
+    IntelInclusive,
+    /// AMD Zen-2-like shape: non-inclusive LLC, Zen-ish latencies.
+    AmdNonInclusive,
+    /// AMD Zen-1-like shape: exclusive (victim) LLC, Zen-ish latencies.
+    AmdExclusive,
+    /// ARM Cortex-A-like shape: non-inclusive shared cache with
+    /// point-of-coherency write-back routing and ARM-ish latencies.
+    ArmPoc,
+}
+
+impl HierarchyPreset {
+    /// Every preset, in matrix order.
+    pub const ALL: [HierarchyPreset; 4] = [
+        HierarchyPreset::IntelInclusive,
+        HierarchyPreset::AmdNonInclusive,
+        HierarchyPreset::AmdExclusive,
+        HierarchyPreset::ArmPoc,
+    ];
+
+    /// Stable kebab-case label (used in tables and on the command line).
+    pub fn label(self) -> &'static str {
+        match self {
+            HierarchyPreset::IntelInclusive => "intel-inclusive",
+            HierarchyPreset::AmdNonInclusive => "amd-noninclusive",
+            HierarchyPreset::AmdExclusive => "amd-exclusive",
+            HierarchyPreset::ArmPoc => "arm-poc",
+        }
+    }
+
+    /// Parses a [`HierarchyPreset::label`] back into a preset.
+    pub fn from_label(label: &str) -> Option<HierarchyPreset> {
+        HierarchyPreset::ALL
+            .into_iter()
+            .find(|p| p.label() == label)
+    }
+
+    /// The preset's inclusion policy.
+    pub fn inclusion(self) -> InclusionPolicy {
+        match self {
+            HierarchyPreset::IntelInclusive => InclusionPolicy::Inclusive,
+            HierarchyPreset::AmdNonInclusive | HierarchyPreset::ArmPoc => {
+                InclusionPolicy::NonInclusive
+            }
+            HierarchyPreset::AmdExclusive => InclusionPolicy::Exclusive,
+        }
+    }
+
+    /// The preset's dirty-victim routing.
+    pub fn writeback(self) -> WritebackRouting {
+        match self {
+            HierarchyPreset::ArmPoc => WritebackRouting::PointOfCoherency,
+            _ => WritebackRouting::NextLevel,
+        }
+    }
+
+    /// The preset's latency model.
+    pub fn latency(self) -> LatencyModel {
+        match self {
+            HierarchyPreset::IntelInclusive => LatencyModel::xeon_e5_2650(),
+            HierarchyPreset::AmdNonInclusive | HierarchyPreset::AmdExclusive => {
+                LatencyModel::amd_zen_like()
+            }
+            HierarchyPreset::ArmPoc => LatencyModel::arm_cortex_like(),
+        }
+    }
+
+    /// Builds the full hierarchy configuration for this preset with the
+    /// given L1 replacement policy and LLC associativity.
+    ///
+    /// `IntelInclusive` with `llc_associativity == 16` reproduces
+    /// [`HierarchyConfig::xeon_e5_2650`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidGeometry`] when the LLC associativity
+    /// does not divide the 2 MiB capacity into a realisable geometry.
+    pub fn config(
+        self,
+        l1_policy: PolicyKind,
+        llc_associativity: usize,
+        seed: u64,
+    ) -> crate::Result<HierarchyConfig> {
+        let llc = CacheConfig::builder(crate::config::CacheLevel::L3)
+            .size_bytes(2 * 1024 * 1024)
+            .associativity(llc_associativity)
+            .line_size(64)
+            .replacement(PolicyKind::TreePlru)
+            .build()?;
+        let mut config = HierarchyConfig::xeon_e5_2650(l1_policy, seed);
+        config.llc = llc;
+        config.inclusion = self.inclusion();
+        config.writeback = self.writeback();
+        config.latency = self.latency();
+        Ok(config)
+    }
+}
+
 impl Default for HierarchyConfig {
     fn default() -> Self {
         HierarchyConfig::xeon_e5_2650(PolicyKind::TreePlru, 0)
@@ -112,6 +263,8 @@ pub struct CacheHierarchy {
     l1d: Cache,
     l2: Cache,
     llc: Cache,
+    inclusion: InclusionPolicy,
+    writeback: WritebackRouting,
     latency: LatencyModel,
     prefetcher: Option<NextLinePrefetcher>,
     random_fill: Option<RandomFillConfig>,
@@ -130,6 +283,8 @@ impl CacheHierarchy {
             l1d: Cache::new(config.l1d, stream_seed(config.seed, L1D_STREAM))?,
             l2: Cache::new(config.l2, stream_seed(config.seed, L2_STREAM))?,
             llc: Cache::new(config.llc, stream_seed(config.seed, LLC_STREAM))?,
+            inclusion: config.inclusion,
+            writeback: config.writeback,
             latency: config.latency,
             prefetcher: config.l1_prefetch.map(NextLinePrefetcher::new),
             random_fill: config.l1_random_fill,
@@ -163,6 +318,8 @@ impl CacheHierarchy {
             .reset(config.l2, stream_seed(config.seed, L2_STREAM))?;
         self.llc
             .reset(config.llc, stream_seed(config.seed, LLC_STREAM))?;
+        self.inclusion = config.inclusion;
+        self.writeback = config.writeback;
         self.latency = config.latency;
         self.prefetcher = config.l1_prefetch.map(NextLinePrefetcher::new);
         self.random_fill = config.l1_random_fill;
@@ -174,6 +331,16 @@ impl CacheHierarchy {
     /// The latency model in use.
     pub fn latency_model(&self) -> LatencyModel {
         self.latency
+    }
+
+    /// The LLC inclusion policy in use.
+    pub fn inclusion_policy(&self) -> InclusionPolicy {
+        self.inclusion
+    }
+
+    /// The dirty-victim routing in use.
+    pub fn writeback_routing(&self) -> WritebackRouting {
+        self.writeback
     }
 
     /// The L1 data-cache geometry (used to construct eviction sets).
@@ -392,37 +559,114 @@ impl CacheHierarchy {
     fn push_writeback_to_l2(&mut self, evicted: EvictedLine) -> u32 {
         self.stats.l1_writebacks += 1;
         let owner_ctx = AccessContext::for_domain(evicted.owner);
-        match self
-            .l2
-            .accept_writeback(PhysAddr(evicted.addr.value()), owner_ctx)
-        {
+        let addr = PhysAddr(evicted.addr.value());
+        let spilled = if self.writeback == WritebackRouting::PointOfCoherency {
+            // The dirty data drains to the point of coherency (memory); the
+            // line stays cached below, but clean.
+            self.stats.memory_accesses += 1;
+            self.l2.accept_victim(addr, owner_ctx, false)
+        } else {
+            self.l2.accept_writeback(addr, owner_ctx)
+        };
+        match spilled {
             Some(spill) => self.spill_l2_victim(spill),
             None => 0,
         }
     }
 
-    /// Propagates a line evicted from the L2: a dirty spill is written into
-    /// the LLC, and a dirty line the LLC displaces to make room goes to
-    /// memory.  Returns the number of write-backs performed (0–2).
+    /// Propagates a line evicted from the L2 according to the inclusion
+    /// policy and write-back routing.  Returns the number of write-backs
+    /// performed (the L2 victim's own, plus any the chain triggers).
     fn spill_l2_victim(&mut self, spill: EvictedLine) -> u32 {
+        let spill_ctx = AccessContext::for_domain(spill.owner);
+        let addr = PhysAddr(spill.addr.value());
+
+        if self.inclusion == InclusionPolicy::Exclusive {
+            // Victim cache: clean and dirty L2 victims both move into the
+            // LLC.  Any L1 copy is folded into the outgoing victim first so
+            // the single-copy invariant (LLC ⟹ nowhere above) holds.
+            let mut writebacks = 0u32;
+            let mut dirty = spill.dirty;
+            if let Some(l1_dirty) = self.l1d.remove_line(addr) {
+                self.stats.back_invalidations += 1;
+                if l1_dirty {
+                    self.stats.l1_writebacks += 1;
+                    writebacks += 1;
+                    dirty = true;
+                }
+            }
+            let mut install_dirty = dirty;
+            if dirty {
+                self.stats.l2_writebacks += 1;
+                writebacks += 1;
+                if self.writeback == WritebackRouting::PointOfCoherency {
+                    self.stats.memory_accesses += 1;
+                    install_dirty = false;
+                }
+            }
+            return match self.llc.accept_victim(addr, spill_ctx, install_dirty) {
+                Some(displaced) if displaced.dirty => {
+                    self.stats.llc_writebacks += 1;
+                    self.stats.memory_accesses += 1;
+                    writebacks + 1
+                }
+                _ => writebacks,
+            };
+        }
+
         if !spill.dirty {
             return 0;
         }
         self.stats.l2_writebacks += 1;
-        let spill_ctx = AccessContext::for_domain(spill.owner);
-        let out = self
-            .llc
-            .accept_writeback(PhysAddr(spill.addr.value()), spill_ctx);
-        match out {
-            Some(displaced) if displaced.dirty => {
-                // The dirty LLC victim leaves the hierarchy: it must reach
-                // memory (previously this line was silently dropped).
-                self.stats.llc_writebacks += 1;
-                self.stats.memory_accesses += 1;
-                2
-            }
-            _ => 1,
+        if self.writeback == WritebackRouting::PointOfCoherency {
+            // The data goes to the point of coherency; LLC residency is
+            // unchanged (a fill-inclusive copy may already sit there, clean).
+            self.stats.memory_accesses += 1;
+            return 1;
         }
+        let out = self.llc.accept_writeback(addr, spill_ctx);
+        match out {
+            Some(displaced) => {
+                let mut writebacks = 1;
+                if displaced.dirty {
+                    // The dirty LLC victim leaves the hierarchy: it must
+                    // reach memory (previously this line was silently
+                    // dropped).
+                    self.stats.llc_writebacks += 1;
+                    self.stats.memory_accesses += 1;
+                    writebacks += 1;
+                }
+                if self.inclusion == InclusionPolicy::Inclusive {
+                    writebacks += self.back_invalidate(PhysAddr(displaced.addr.value()));
+                }
+                writebacks
+            }
+            None => 1,
+        }
+    }
+
+    /// Enforces inclusion after an LLC eviction: removes the victim's L1/L2
+    /// copies, writing dirty ones back to memory (the fill they overlap with
+    /// absorbs their latency).  Returns the number of write-backs performed.
+    fn back_invalidate(&mut self, victim: PhysAddr) -> u32 {
+        let mut writebacks = 0;
+        if let Some(dirty) = self.l1d.remove_line(victim) {
+            self.stats.back_invalidations += 1;
+            if dirty {
+                writebacks += 1;
+                self.stats.l1_writebacks += 1;
+                self.stats.memory_accesses += 1;
+            }
+        }
+        if let Some(dirty) = self.l2.remove_line(victim) {
+            self.stats.back_invalidations += 1;
+            if dirty {
+                writebacks += 1;
+                self.stats.l2_writebacks += 1;
+                self.stats.memory_accesses += 1;
+            }
+        }
+        writebacks
     }
 
     #[inline]
@@ -555,30 +799,46 @@ impl CacheHierarchy {
         } else {
             self.llc.lookup_read_at(llc_set, llc_tag).is_some()
         };
+        let mut promote_dirty = false;
         let (level, base) = if llc_hit {
+            if self.inclusion == InclusionPolicy::Exclusive {
+                // Single-copy residency: the hit *moves* the line up.  The
+                // LLC copy dies and its dirty bit rides along into the L2
+                // install below.
+                promote_dirty = self.llc.remove_line(addr).unwrap_or(false);
+            }
             (HitLevel::L3, self.latency.l3_hit)
         } else {
             self.stats.memory_accesses += 1;
-            // Memory supplies the line; install it in the LLC (which just
-            // missed, so the residency re-scan can be skipped).
-            let fill = self
-                .llc
-                .fill_missing_at(llc_set, llc_tag, ctx, false, false);
-            if let Some(evicted) = fill.evicted {
-                if evicted.dirty {
-                    // Write-back to memory; latency folded into the miss.
-                    writebacks += 1;
-                    self.stats.llc_writebacks += 1;
-                    self.stats.memory_accesses += 1;
+            if self.inclusion != InclusionPolicy::Exclusive {
+                // Memory supplies the line; install it in the LLC (which
+                // just missed, so the residency re-scan can be skipped).
+                // An exclusive LLC is bypassed: it only ever holds victims.
+                let fill = self
+                    .llc
+                    .fill_missing_at(llc_set, llc_tag, ctx, false, false);
+                if let Some(evicted) = fill.evicted {
+                    if evicted.dirty {
+                        // Write-back to memory; latency folded into the miss.
+                        writebacks += 1;
+                        self.stats.llc_writebacks += 1;
+                        self.stats.memory_accesses += 1;
+                    }
+                    if self.inclusion == InclusionPolicy::Inclusive {
+                        writebacks += self.back_invalidate(PhysAddr(evicted.addr.value()));
+                    }
                 }
             }
             (HitLevel::Memory, self.latency.memory)
         };
 
-        // Install in the L2 on the way in (non-exclusive; the L2 lookup
-        // above missed and nothing filled the L2 since).
+        // Install in the L2 on the way in (the L2 lookup above missed and
+        // nothing filled the L2 since; inclusive back-invalidation can only
+        // have *removed* lines).
         let mut extra = 0;
-        let fill = self.l2.fill_missing_at(l2_set, l2_tag, ctx, false, false);
+        let fill = self
+            .l2
+            .fill_missing_at(l2_set, l2_tag, ctx, promote_dirty, false);
         if let Some(evicted) = fill.evicted {
             if evicted.dirty {
                 extra += self.latency.deep_dirty_writeback;
@@ -879,7 +1139,13 @@ mod tests {
     }
 
     /// A 1-way, 1-set hierarchy at every level: eviction chains are exact.
+    /// The spill-chain tests predate inclusion policies and pin the
+    /// eviction-independent (non-inclusive) accounting.
     fn one_way_hierarchy() -> CacheHierarchy {
+        tiny_hierarchy(InclusionPolicy::NonInclusive, WritebackRouting::NextLevel)
+    }
+
+    fn tiny_hierarchy(inclusion: InclusionPolicy, writeback: WritebackRouting) -> CacheHierarchy {
         let tiny = |level| {
             crate::config::CacheConfig::builder(level)
                 .size_bytes(64)
@@ -893,12 +1159,138 @@ mod tests {
             l1d: tiny(crate::config::CacheLevel::L1D),
             l2: tiny(crate::config::CacheLevel::L2),
             llc: tiny(crate::config::CacheLevel::L3),
+            inclusion,
+            writeback,
             latency: LatencyModel::xeon_e5_2650(),
             l1_prefetch: None,
             l1_random_fill: None,
             seed: 0,
         };
         CacheHierarchy::new(config).expect("tiny hierarchy is valid")
+    }
+
+    #[test]
+    fn inclusive_llc_eviction_back_invalidates_upper_copies() {
+        let mut h = tiny_hierarchy(InclusionPolicy::Inclusive, WritebackRouting::NextLevel);
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        let a = PhysAddr::from_set_and_tag(0, 1, g);
+        let b = PhysAddr::from_set_and_tag(0, 2, g);
+        // A sits dirty in the L1 with clean copies below.
+        h.write(a, ctx);
+        assert!(h.l1().is_dirty(a) && h.l2().contains(a) && h.llc().contains(a));
+        // B's LLC fill evicts A; inclusion forces the L1/L2 copies out too,
+        // and the dirty L1 copy must reach memory.
+        let outcome = h.read(b, ctx);
+        assert!(!h.l1().contains(a) && !h.l2().contains(a) && !h.llc().contains(a));
+        assert_eq!(outcome.writebacks, 1, "the dirty back-invalidated copy");
+        let stats = h.stats();
+        assert_eq!(stats.back_invalidations, 2, "one L1 copy, one L2 copy");
+        assert_eq!(stats.l1_writebacks, 1);
+        // A's fetch + B's fetch + A's dirty write-back on the way out.
+        assert_eq!(stats.memory_accesses, 3);
+    }
+
+    #[test]
+    fn exclusive_llc_holds_only_victims_and_hits_promote() {
+        let mut h = tiny_hierarchy(InclusionPolicy::Exclusive, WritebackRouting::NextLevel);
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        let a = PhysAddr::from_set_and_tag(0, 1, g);
+        let b = PhysAddr::from_set_and_tag(0, 2, g);
+        // A miss fill bypasses the LLC entirely.
+        h.read(a, ctx);
+        assert!(h.l1().contains(a) && h.l2().contains(a));
+        assert!(!h.llc().contains(a), "fills bypass an exclusive LLC");
+        // B displaces A from L2 (and the folded L1 copy): the victim — clean
+        // — lands in the LLC, nowhere above.
+        h.read(b, ctx);
+        assert!(h.llc().contains(a) && !h.l1().contains(a) && !h.l2().contains(a));
+        assert!(!h.llc().is_dirty(a));
+        assert!(!h.llc().contains(b), "B's own fill bypassed the LLC");
+        // Hitting A again moves it back up and out of the LLC.
+        let promoted = h.read(a, ctx);
+        assert_eq!(promoted.hit, HitLevel::L3);
+        assert!(
+            !h.llc().contains(a),
+            "an exclusive hit removes the LLC copy"
+        );
+        assert!(h.l1().contains(a) && h.l2().contains(a));
+    }
+
+    #[test]
+    fn exclusive_promotion_preserves_the_dirty_bit() {
+        let mut h = tiny_hierarchy(InclusionPolicy::Exclusive, WritebackRouting::NextLevel);
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        let a = PhysAddr::from_set_and_tag(0, 1, g);
+        let b = PhysAddr::from_set_and_tag(0, 2, g);
+        h.write(a, ctx);
+        // Evicting dirty A out of L1+L2 folds the dirty bit into the LLC
+        // victim.
+        h.read(b, ctx);
+        assert!(h.llc().is_dirty(a), "the victim carries its dirty bit");
+        // Promoting A back up re-creates a dirty upper copy; nothing was
+        // written to memory along the way.
+        let before = h.stats().memory_accesses;
+        h.read(a, ctx);
+        assert!(h.l2().is_dirty(a), "promotion must not lose dirtiness");
+        assert!(!h.llc().contains(a));
+        // B's victim spill (clean) plus A's promotion touch no memory.
+        assert_eq!(h.stats().memory_accesses, before);
+    }
+
+    #[test]
+    fn point_of_coherency_routes_dirty_victims_to_memory() {
+        let mut h = tiny_hierarchy(
+            InclusionPolicy::NonInclusive,
+            WritebackRouting::PointOfCoherency,
+        );
+        let g = h.l1_geometry();
+        let ctx = AccessContext::default();
+        let a = PhysAddr::from_set_and_tag(0, 1, g);
+        let b = PhysAddr::from_set_and_tag(0, 2, g);
+        h.write(a, ctx);
+        let before = h.stats();
+        // B evicts dirty A from the L1: the data goes straight to memory and
+        // the L2 keeps only a *clean* copy — deep levels never turn dirty.
+        let outcome = h.read(b, ctx);
+        assert!(outcome.l1_victim_dirty);
+        let after = h.stats();
+        assert_eq!(after.l1_writebacks, before.l1_writebacks + 1);
+        assert!(h.l2().contains(a));
+        assert!(!h.l2().is_dirty(a), "PoC write-backs leave the L2 clean");
+        // B's fetch (1), its LLC eviction of A's clean copy (0) and A's
+        // dirty write-back (1).
+        assert_eq!(after.memory_accesses, before.memory_accesses + 2);
+    }
+
+    #[test]
+    fn presets_round_trip_labels_and_intel_matches_the_default() {
+        for preset in HierarchyPreset::ALL {
+            assert_eq!(HierarchyPreset::from_label(preset.label()), Some(preset));
+        }
+        assert_eq!(HierarchyPreset::from_label("verboten"), None);
+        let intel = HierarchyPreset::IntelInclusive
+            .config(PolicyKind::TreePlru, 16, 7)
+            .expect("intel preset is valid");
+        assert_eq!(
+            intel,
+            HierarchyConfig::xeon_e5_2650(PolicyKind::TreePlru, 7)
+        );
+        let arm = HierarchyPreset::ArmPoc
+            .config(PolicyKind::TreePlru, 16, 7)
+            .expect("arm preset is valid");
+        assert_eq!(arm.writeback, WritebackRouting::PointOfCoherency);
+        assert_eq!(arm.inclusion, InclusionPolicy::NonInclusive);
+        // The 8-way LLC variant is a realisable geometry for every preset.
+        for preset in HierarchyPreset::ALL {
+            let config = preset
+                .config(PolicyKind::Srrip, 8, 1)
+                .expect("8-way LLC is valid");
+            assert_eq!(config.llc.geometry.associativity, 8);
+            CacheHierarchy::new(config).expect("preset hierarchies construct");
+        }
     }
 
     #[test]

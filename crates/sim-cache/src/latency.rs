@@ -55,6 +55,39 @@ impl LatencyModel {
         }
     }
 
+    /// Latencies shaped like an AMD Zen family part: a slightly slower L2,
+    /// a faster (non-inclusive/victim) L3 and a longer memory round trip
+    /// than the Xeon.  The dirty-victim penalty stays close to the paper's
+    /// ~10 cycles, so the WB channel's two latency classes remain separable.
+    pub fn amd_zen_like() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 4,
+            l2_hit: 12,
+            l3_hit: 38,
+            memory: 210,
+            l1_dirty_writeback: 11,
+            deep_dirty_writeback: 2,
+            write_through_store: 7,
+        }
+    }
+
+    /// Latencies shaped like an ARM Cortex-A-class part with a DynamIQ
+    /// shared cache.  The L2 is further from the core than on the Xeon and
+    /// dirty victims drain towards the point of coherency, which makes the
+    /// dirty-eviction stall slightly *larger* — the channel's latency gap
+    /// survives (and the per-dirty-line sweep penalty with it).
+    pub fn arm_cortex_like() -> LatencyModel {
+        LatencyModel {
+            l1_hit: 4,
+            l2_hit: 14,
+            l3_hit: 35,
+            memory: 180,
+            l1_dirty_writeback: 12,
+            deep_dirty_writeback: 3,
+            write_through_store: 8,
+        }
+    }
+
     /// The latency of an access served by the L2 that evicts a dirty L1 line
     /// — the "slow" class the WB receiver looks for.
     pub fn l2_hit_dirty_victim(&self) -> u64 {
@@ -106,5 +139,21 @@ mod tests {
         assert!(m.l1_hit < m.l2_hit);
         assert!(m.l2_hit < m.l3_hit);
         assert!(m.l3_hit < m.memory);
+    }
+
+    #[test]
+    fn commercial_presets_keep_the_channel_decodable() {
+        // The dirty/clean latency gap is the channel; every preset must keep
+        // the two L2-hit classes separated by at least the paper's ~10-cycle
+        // per-dirty-line penalty, and keep level latencies monotonic.
+        for m in [
+            LatencyModel::xeon_e5_2650(),
+            LatencyModel::amd_zen_like(),
+            LatencyModel::arm_cortex_like(),
+        ] {
+            assert!(m.per_dirty_line_penalty() >= 10, "gap too small: {m:?}");
+            assert!(m.l2_hit_dirty_victim() > m.l2_hit);
+            assert!(m.l1_hit < m.l2_hit && m.l2_hit < m.l3_hit && m.l3_hit < m.memory);
+        }
     }
 }

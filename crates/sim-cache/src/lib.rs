@@ -83,7 +83,9 @@ pub mod prelude {
     pub use crate::config::{
         CacheConfig, CacheConfigBuilder, CacheLevel, WriteMissPolicy, WritePolicy,
     };
-    pub use crate::hierarchy::{CacheHierarchy, HierarchyConfig};
+    pub use crate::hierarchy::{
+        CacheHierarchy, HierarchyConfig, HierarchyPreset, InclusionPolicy, WritebackRouting,
+    };
     pub use crate::latency::LatencyModel;
     pub use crate::outcome::{AccessKind, AccessOutcome, HitLevel};
     pub use crate::policy::PolicyKind;

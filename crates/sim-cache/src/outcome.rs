@@ -101,9 +101,14 @@ pub struct AccessOutcome {
     /// L2 victim spilled into the LLC, a dirty LLC victim written to memory,
     /// and (for flushes) one per level that held a dirty copy.  Every path —
     /// demand miss, no-allocate store, random-fill, prefetch, flush — counts
-    /// with the same convention; the per-level split is available in
+    /// with the same convention, and so do the inclusion-policy flows: a
+    /// dirty copy removed by inclusive back-invalidation, a dirty L1 copy
+    /// folded into an exclusive LLC victim, and a dirty victim routed to the
+    /// point of coherency each count exactly one write-back at the level
+    /// that held the data.  The per-level split is available in
     /// [`crate::stats::HierarchyStats`] (`l1_writebacks` / `l2_writebacks` /
-    /// `llc_writebacks`).
+    /// `llc_writebacks`, plus `back_invalidations` for the inclusion
+    /// traffic).
     pub writebacks: u32,
 }
 

@@ -142,6 +142,11 @@ pub struct HierarchyStats {
     /// Dirty LLC lines written back to memory — the end of the spill chain.
     /// Every eviction-driven write-back here also counts one memory access.
     pub llc_writebacks: u64,
+    /// Upper-level copies removed to maintain an inclusion policy: inclusive
+    /// back-invalidation after an LLC eviction, or the L1-copy fold-in when
+    /// an exclusive LLC absorbs an L2 victim.  Dirty copies removed this way
+    /// additionally count as write-backs at their level.
+    pub back_invalidations: u64,
 }
 
 impl HierarchyStats {
@@ -164,6 +169,7 @@ impl Add for HierarchyStats {
             l1_writebacks: self.l1_writebacks + rhs.l1_writebacks,
             l2_writebacks: self.l2_writebacks + rhs.l2_writebacks,
             llc_writebacks: self.llc_writebacks + rhs.llc_writebacks,
+            back_invalidations: self.back_invalidations + rhs.back_invalidations,
         }
     }
 }
@@ -182,8 +188,8 @@ impl fmt::Display for HierarchyStats {
         writeln!(f, "memory accesses: {}", self.memory_accesses)?;
         write!(
             f,
-            "writebacks: L1->L2 {} / L2->LLC {} / LLC->mem {}",
-            self.l1_writebacks, self.l2_writebacks, self.llc_writebacks
+            "writebacks: L1->L2 {} / L2->LLC {} / LLC->mem {} / back-invalidations {}",
+            self.l1_writebacks, self.l2_writebacks, self.llc_writebacks, self.back_invalidations
         )
     }
 }

@@ -15,6 +15,55 @@ fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
     ]
 }
 
+fn arbitrary_inclusion() -> impl Strategy<Value = InclusionPolicy> {
+    prop_oneof![
+        Just(InclusionPolicy::Inclusive),
+        Just(InclusionPolicy::NonInclusive),
+        Just(InclusionPolicy::Exclusive),
+    ]
+}
+
+fn arbitrary_routing() -> impl Strategy<Value = WritebackRouting> {
+    prop_oneof![
+        Just(WritebackRouting::NextLevel),
+        Just(WritebackRouting::PointOfCoherency),
+    ]
+}
+
+fn arbitrary_preset() -> impl Strategy<Value = HierarchyPreset> {
+    prop_oneof![
+        Just(HierarchyPreset::IntelInclusive),
+        Just(HierarchyPreset::AmdNonInclusive),
+        Just(HierarchyPreset::AmdExclusive),
+        Just(HierarchyPreset::ArmPoc),
+    ]
+}
+
+/// Ops of the inclusion-policy traces: `(kind, set, tag)` triples where every
+/// level collides on the set index.  131072-byte strides keep the L1 (64
+/// sets), L2 (512 sets) and LLC (2048 sets) set indices equal, so ~40 tags
+/// over a 16-way LLC set force LLC evictions — the traffic that exercises
+/// back-invalidation, exclusive victim installs and the spill chains.
+fn colliding_ops() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    proptest::collection::vec((0u8..3, 0u64..4, 0u64..40), 1..300)
+}
+
+fn colliding_addr(set: u64, tag: u64) -> PhysAddr {
+    PhysAddr(set * 64 + tag * 131_072)
+}
+
+fn hierarchy_for(
+    inclusion: InclusionPolicy,
+    writeback: WritebackRouting,
+    policy: PolicyKind,
+    seed: u64,
+) -> CacheHierarchy {
+    let mut config = HierarchyConfig::xeon_e5_2650(policy, seed);
+    config.inclusion = inclusion;
+    config.writeback = writeback;
+    CacheHierarchy::new(config).unwrap()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -180,6 +229,244 @@ proptest! {
             prop_assert_eq!(batched.l1().contains(addr), serial.l1().contains(addr));
             prop_assert_eq!(batched.l1().is_dirty(addr), serial.l1().is_dirty(addr));
         }
+    }
+
+    /// Write-back accounting is conserved across levels: for any trace and
+    /// any inclusion × routing combination, the sum of the per-access
+    /// [`AccessOutcome::writebacks`] counts equals the hierarchy's per-level
+    /// write-back counters.  This is the differential check that the
+    /// inclusion-policy flows (back-invalidation, exclusive victim folding,
+    /// point-of-coherency routing) never drop or double-count a dirty line.
+    #[test]
+    fn writeback_accounting_is_conserved_across_levels(
+        inclusion in arbitrary_inclusion(),
+        routing in arbitrary_routing(),
+        policy in arbitrary_policy(),
+        ops in colliding_ops(),
+        seed in 0u64..1000,
+    ) {
+        let mut h = hierarchy_for(inclusion, routing, policy, seed);
+        let ctx = AccessContext::for_domain(2);
+        let mut outcome_total: u64 = 0;
+        for &(kind, set, tag) in &ops {
+            let addr = colliding_addr(set, tag);
+            let outcome = match kind {
+                0 => h.read(addr, ctx),
+                1 => h.write(addr, ctx),
+                _ => h.flush(addr, ctx),
+            };
+            outcome_total += u64::from(outcome.writebacks);
+        }
+        let stats = h.stats();
+        prop_assert_eq!(
+            outcome_total,
+            stats.l1_writebacks + stats.l2_writebacks + stats.llc_writebacks,
+            "per-access write-backs diverged from the level counters \
+             (inclusion {:?}, routing {:?})",
+            inclusion,
+            routing
+        );
+    }
+
+    /// An exclusive LLC holds only victims: at no point during any trace may
+    /// a line be resident in the LLC and in the L1 or L2 at the same time.
+    #[test]
+    fn exclusive_llc_never_duplicates_upper_level_lines(
+        routing in arbitrary_routing(),
+        policy in arbitrary_policy(),
+        ops in colliding_ops(),
+        seed in 0u64..1000,
+    ) {
+        let mut h = hierarchy_for(InclusionPolicy::Exclusive, routing, policy, seed);
+        let ctx = AccessContext::for_domain(1);
+        for &(kind, set, tag) in &ops {
+            let addr = colliding_addr(set, tag);
+            match kind {
+                0 => h.read(addr, ctx),
+                1 => h.write(addr, ctx),
+                _ => h.flush(addr, ctx),
+            };
+            for probe_tag in 0..40 {
+                let probe = colliding_addr(set, probe_tag);
+                if h.llc().contains(probe) {
+                    prop_assert!(
+                        !h.l1().contains(probe) && !h.l2().contains(probe),
+                        "{:?} resident in the LLC and an upper level at once",
+                        probe
+                    );
+                }
+            }
+        }
+    }
+
+    /// An inclusive LLC is a superset of the upper levels: any line resident
+    /// in the L1 or L2 must also be resident in the LLC, at every step of any
+    /// trace (back-invalidation on LLC eviction is what maintains this).
+    #[test]
+    fn inclusive_llc_is_a_superset_of_upper_levels(
+        routing in arbitrary_routing(),
+        policy in arbitrary_policy(),
+        ops in colliding_ops(),
+        seed in 0u64..1000,
+    ) {
+        let mut h = hierarchy_for(InclusionPolicy::Inclusive, routing, policy, seed);
+        let ctx = AccessContext::for_domain(1);
+        for &(kind, set, tag) in &ops {
+            let addr = colliding_addr(set, tag);
+            match kind {
+                0 => h.read(addr, ctx),
+                1 => h.write(addr, ctx),
+                _ => h.flush(addr, ctx),
+            };
+            for probe_tag in 0..40 {
+                let probe = colliding_addr(set, probe_tag);
+                if h.l1().contains(probe) || h.l2().contains(probe) {
+                    prop_assert!(
+                        h.llc().contains(probe),
+                        "{:?} resident in an upper level but not the LLC",
+                        probe
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batched trace fast path agrees with the per-access API on every
+    /// hierarchy preset, not just the default Intel-inclusive machine: same
+    /// summary, same statistics, same final cache state.
+    #[test]
+    fn run_trace_matches_per_access_on_every_preset(
+        preset in arbitrary_preset(),
+        policy in arbitrary_policy(),
+        ops in colliding_ops(),
+        seed in 0u64..1000,
+    ) {
+        let config = preset.config(policy, 16, seed).unwrap();
+        let trace: Vec<TraceOp> = ops
+            .iter()
+            .map(|&(kind, set, tag)| {
+                let addr = colliding_addr(set, tag);
+                match kind {
+                    0 => TraceOp::read(addr),
+                    1 => TraceOp::write(addr),
+                    _ => TraceOp::flush(addr),
+                }
+            })
+            .collect();
+        let ctx = AccessContext::for_domain(3);
+
+        let mut batched = CacheHierarchy::new(config).unwrap();
+        let summary = batched.run_trace(&trace, ctx);
+
+        let mut serial = CacheHierarchy::new(config).unwrap();
+        let mut expected = TraceSummary::default();
+        for op in &trace {
+            let outcome = match op.kind {
+                TraceKind::Read => serial.read(op.addr, ctx),
+                TraceKind::Write => serial.write(op.addr, ctx),
+                TraceKind::Flush => serial.flush(op.addr, ctx),
+            };
+            expected.absorb(&outcome);
+        }
+
+        prop_assert_eq!(summary, expected);
+        prop_assert_eq!(batched.stats(), serial.stats());
+        for &(_, set, tag) in &ops {
+            let addr = colliding_addr(set, tag);
+            prop_assert_eq!(batched.l1().contains(addr), serial.l1().contains(addr));
+            prop_assert_eq!(batched.l1().is_dirty(addr), serial.l1().is_dirty(addr));
+            prop_assert_eq!(batched.llc().contains(addr), serial.llc().contains(addr));
+        }
+    }
+
+    /// `Cache::reset` is indistinguishable from constructing a fresh cache:
+    /// after arbitrary warm-up traffic, a reset cache replays any trace with
+    /// op-for-op identical lookup results, fill outcomes and statistics.
+    #[test]
+    fn cache_reset_matches_a_fresh_cache(
+        policy in arbitrary_policy(),
+        warmup in proptest::collection::vec((0u8..2, 0u64..40), 0..120),
+        ops in proptest::collection::vec((0u8..2, 0u64..40), 1..120),
+        seed in 0u64..1000,
+        reseed in 0u64..1000,
+    ) {
+        let config = CacheConfig::xeon_l1d(policy);
+        let ctx = AccessContext::for_domain(2);
+        let mut recycled = Cache::new(config, seed).unwrap();
+        let g = recycled.geometry();
+        for &(kind, tag) in &warmup {
+            let addr = PhysAddr::from_set_and_tag(9, tag, g);
+            if kind == 0 {
+                if recycled.lookup_read(addr, ctx).is_none() {
+                    recycled.fill(addr, ctx, false, false);
+                }
+            } else if recycled.lookup_write(addr, ctx).is_none() {
+                recycled.fill(addr, ctx, true, false);
+            }
+        }
+        recycled.reset(config, reseed).unwrap();
+        let mut fresh = Cache::new(config, reseed).unwrap();
+        for &(kind, tag) in &ops {
+            let addr = PhysAddr::from_set_and_tag(9, tag, g);
+            if kind == 0 {
+                let hit = recycled.lookup_read(addr, ctx);
+                prop_assert_eq!(hit, fresh.lookup_read(addr, ctx));
+                if hit.is_none() {
+                    prop_assert_eq!(
+                        recycled.fill(addr, ctx, false, false),
+                        fresh.fill(addr, ctx, false, false)
+                    );
+                }
+            } else {
+                let hit = recycled.lookup_write(addr, ctx);
+                prop_assert_eq!(hit, fresh.lookup_write(addr, ctx));
+                if hit.is_none() {
+                    prop_assert_eq!(
+                        recycled.fill(addr, ctx, true, false),
+                        fresh.fill(addr, ctx, true, false)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(recycled.stats(), fresh.stats());
+    }
+
+    /// `CacheHierarchy::reset` is indistinguishable from fresh construction
+    /// on every preset: after arbitrary warm-up traffic (under a different
+    /// seed), resetting and replaying a trace yields outcome-for-outcome
+    /// identical results and statistics.
+    #[test]
+    fn hierarchy_reset_matches_a_fresh_hierarchy(
+        preset in arbitrary_preset(),
+        policy in arbitrary_policy(),
+        warmup in colliding_ops(),
+        ops in colliding_ops(),
+        seed in 0u64..1000,
+        reseed in 0u64..1000,
+    ) {
+        let ctx = AccessContext::for_domain(3);
+        let mut recycled = CacheHierarchy::new(preset.config(policy, 16, seed).unwrap()).unwrap();
+        for &(kind, set, tag) in &warmup {
+            let addr = colliding_addr(set, tag);
+            match kind {
+                0 => recycled.read(addr, ctx),
+                1 => recycled.write(addr, ctx),
+                _ => recycled.flush(addr, ctx),
+            };
+        }
+        let next = preset.config(policy, 16, reseed).unwrap();
+        recycled.reset(next).unwrap();
+        let mut fresh = CacheHierarchy::new(next).unwrap();
+        for &(kind, set, tag) in &ops {
+            let addr = colliding_addr(set, tag);
+            let (replayed, reference) = match kind {
+                0 => (recycled.read(addr, ctx), fresh.read(addr, ctx)),
+                1 => (recycled.write(addr, ctx), fresh.write(addr, ctx)),
+                _ => (recycled.flush(addr, ctx), fresh.flush(addr, ctx)),
+            };
+            prop_assert_eq!(replayed, reference);
+        }
+        prop_assert_eq!(recycled.stats(), fresh.stats());
     }
 
     /// Way masks behave like sets of way indices.
