@@ -60,12 +60,20 @@ fn emit(text: &dyn std::fmt::Display) {
 const USAGE: &str = "usage:\n  repro list [--quick|--full]\n  repro run <id|glob>... \
     [--quick|--full] [--threads N] [--out DIR] [--seed SEED] [--no-progress]\n           \
     [--verbose] [--allow-empty]\n  \
+    repro check [<id|glob>...] [--verbose]\n  \
+    repro lint [DIR]\n  \
     repro bench-sim [--quick|--full] [--out DIR] [--baseline PATH] [--max-regress PCT]\n  \
     repro serve [--addr HOST:PORT] [--threads N] [--cache-dir DIR] [--workers K]\n              \
     [--seed SEED]\n\
     \nscenario ids (see `repro list`): table1 table2 table4 table5 table6 table7\n\
     fig4 fig5-7 fig6 fig8 bandwidth defenses sidechannel hierarchy-matrix; globs\n\
     like 'table*' and the keyword `all` also work\n\
+    \ncheck statically verifies every selected scenario's compiled trace programs\n\
+    across all hierarchy presets without executing a simulated cycle; --verbose\n\
+    prints per-scenario program stats (steps, ops, chases, anchors). lint runs\n\
+    the workspace determinism linter (crates/lint) over DIR (default: the\n\
+    workspace root), printing one JSON finding per line; both exit non-zero on\n\
+    any finding\n\
     \nbench-sim measures cache-hierarchy throughput (accesses/sec) on a set of\n\
     canonical traces, writes BENCH_sim.{md,csv,json} under --out, and exits\n\
     non-zero when a trace regresses more than --max-regress percent (default\n\
@@ -147,6 +155,17 @@ fn write(table: &Table, out_dir: &Path, stem: &str) -> Result<(), String> {
     }
 }
 
+/// The directory `repro lint` scans when none is given: the workspace root
+/// this binary was compiled from, falling back to the current directory when
+/// the binary has been moved to another machine.
+fn default_lint_root() -> PathBuf {
+    let compiled_from = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled_from.join("Cargo.toml").exists() {
+        return compiled_from.canonicalize().unwrap_or(compiled_from);
+    }
+    PathBuf::from(".")
+}
+
 // One seed grammar for the whole system: the CLI accepts exactly what the
 // service's job specs accept, so the same seed string always lands on the
 // same cache key.
@@ -206,6 +225,7 @@ fn main() -> ExitCode {
     let mut seed_flag_seen = false;
     let mut out_flag_seen = false;
     let mut scale_flag_seen = false;
+    let mut verbose_flag_seen = false;
     // A flag's value must not itself look like a flag: `--out --no-progress`
     // should be the usage error it almost certainly is, not a directory
     // literally named "--no-progress".
@@ -226,7 +246,9 @@ fn main() -> ExitCode {
                 progress = false;
             }
             "--verbose" => {
-                record_run_only("--verbose");
+                // Shared by `run` (pool counters) and `check` (program
+                // stats); the other commands reject it below.
+                verbose_flag_seen = true;
                 verbose = true;
             }
             "--allow-empty" => {
@@ -328,6 +350,10 @@ fn main() -> ExitCode {
                 eprintln!("--out only applies to `repro run` and `repro bench-sim`");
                 usage();
             }
+            if verbose_flag_seen {
+                eprintln!("--verbose only applies to `repro run` and `repro check`");
+                usage();
+            }
             list(&registry, scale);
             ExitCode::SUCCESS
         }
@@ -345,6 +371,10 @@ fn main() -> ExitCode {
             }
             if threads_flag_seen || seed_flag_seen {
                 eprintln!("--threads/--seed only apply to `repro run` and `repro serve`");
+                usage();
+            }
+            if verbose_flag_seen {
+                eprintln!("--verbose only applies to `repro run` and `repro check`");
                 usage();
             }
             let results = bench::bench_sim::run(scale == Scale::Full);
@@ -473,6 +503,131 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
         }
+        "check" => {
+            if let Some(flag) = run_only_flag {
+                eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            if let Some(flag) = bench_only_flag {
+                eprintln!("{flag} only applies to `repro bench-sim`");
+                usage();
+            }
+            if let Some(flag) = serve_only_flag {
+                eprintln!("{flag} only applies to `repro serve`");
+                usage();
+            }
+            if threads_flag_seen || seed_flag_seen {
+                eprintln!("--threads/--seed only apply to `repro run` and `repro serve`");
+                usage();
+            }
+            if out_flag_seen {
+                eprintln!("--out only applies to `repro run` and `repro bench-sim`");
+                usage();
+            }
+            if scale_flag_seen {
+                eprintln!("--quick/--full do not apply to `repro check`: the gate is compile-only");
+                usage();
+            }
+            let report = match bench::check::run_check(&registry, &patterns) {
+                Ok(report) => report,
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if verbose {
+                for check in &report.scenarios {
+                    emit(&format_args!(
+                        "check {:<16} {} config{} x hierarchies = {:>2} variants, {:>3} programs; \
+                         default machine: steps={} ops={} chases={} anchors={}",
+                        check.id,
+                        check.configs,
+                        if check.configs == 1 { " " } else { "s" },
+                        check.variants,
+                        check.programs,
+                        check.stats.steps,
+                        check.stats.ops,
+                        check.stats.chases,
+                        check.stats.anchors,
+                    ));
+                }
+            }
+            let findings: Vec<&String> = report.findings().collect();
+            emit(&format_args!(
+                "check: {} scenario{}, {} variants, {} programs verified, {} finding{}",
+                report.scenarios.len(),
+                if report.scenarios.len() == 1 { "" } else { "s" },
+                report.variants(),
+                report.programs(),
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" },
+            ));
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                for finding in findings {
+                    eprintln!("check finding: {finding}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        "lint" => {
+            if let Some(flag) = run_only_flag {
+                eprintln!("{flag} only applies to `repro run`");
+                usage();
+            }
+            if let Some(flag) = bench_only_flag {
+                eprintln!("{flag} only applies to `repro bench-sim`");
+                usage();
+            }
+            if let Some(flag) = serve_only_flag {
+                eprintln!("{flag} only applies to `repro serve`");
+                usage();
+            }
+            if threads_flag_seen || seed_flag_seen || out_flag_seen || scale_flag_seen {
+                eprintln!("repro lint takes no flags, only an optional DIR");
+                usage();
+            }
+            if verbose_flag_seen {
+                eprintln!("--verbose only applies to `repro run` and `repro check`");
+                usage();
+            }
+            if patterns.len() > 1 {
+                usage();
+            }
+            let root = patterns
+                .first()
+                .map(PathBuf::from)
+                .unwrap_or_else(default_lint_root);
+            let report = match lint::lint_workspace(&root) {
+                Ok(report) => report,
+                Err(error) => {
+                    eprintln!("error: could not lint {}: {error}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            // One machine-readable JSON finding per line, like the service's
+            // NDJSON endpoints.
+            for finding in &report.findings {
+                emit(&finding.to_json());
+            }
+            if report.findings.is_empty() {
+                emit(&format_args!(
+                    "lint: clean ({} files scanned under {})",
+                    report.files,
+                    root.display()
+                ));
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "lint: {} finding{} in {} files scanned",
+                    report.findings.len(),
+                    if report.findings.len() == 1 { "" } else { "s" },
+                    report.files,
+                );
+                ExitCode::FAILURE
+            }
+        }
         "serve" => {
             if !patterns.is_empty() {
                 usage();
@@ -487,6 +642,10 @@ fn main() -> ExitCode {
             }
             if out_flag_seen {
                 eprintln!("--out only applies to `repro run` and `repro bench-sim`");
+                usage();
+            }
+            if verbose_flag_seen {
+                eprintln!("--verbose only applies to `repro run` and `repro check`");
                 usage();
             }
             if scale_flag_seen {

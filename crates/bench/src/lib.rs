@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bench_sim;
+pub mod check;
 pub mod scenarios;
 
 pub use runner::scale::{Scale, Sizes};

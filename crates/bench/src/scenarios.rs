@@ -481,7 +481,7 @@ pub const TABLE5: Scenario = Scenario {
 // ---------------------------------------------------------------- Table VI
 
 /// Transmission period of the stealth profiles (Tables VI and VII).
-const STEALTH_PERIOD: u64 = 11_000;
+pub(crate) const STEALTH_PERIOD: u64 = 11_000;
 /// Spin-loop footprint granted to the LRU-channel sender for parity.
 const LRU_SPIN_PER_BIT: f64 = 24.0;
 /// Clock frequency (GHz) used to convert cycles to milliseconds.
@@ -678,7 +678,7 @@ pub const FIG8: Scenario = Scenario {
 
 // ---------------------------------------------------------------- bandwidth
 
-const BANDWIDTH_POINTS: [(usize, u64); 3] = [
+pub(crate) const BANDWIDTH_POINTS: [(usize, u64); 3] = [
     // (binary dirty count, period); 0 encodes the two-bit configuration.
     (1, 1_600),
     (8, 800),

@@ -151,6 +151,9 @@ impl WbReceiver {
                 program.wait_anchor(self.period);
             }
         }
+        if cfg!(debug_assertions) {
+            program.assert_valid();
+        }
         program
     }
 

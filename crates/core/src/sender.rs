@@ -166,6 +166,9 @@ impl WbSender {
             }
             program.wait_anchor(self.period);
         }
+        if cfg!(debug_assertions) {
+            program.assert_valid();
+        }
         program
     }
 

@@ -34,17 +34,132 @@ use crate::receiver::WbReceiver;
 use crate::sender::WbSender;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sim_cache::addr::CacheGeometry;
 use sim_cache::trace::TraceSummary;
 use sim_core::machine::Machine;
 use sim_core::memlayout::{ChannelLayout, SetLines};
 use sim_core::noise::NoisyNeighbor;
 use sim_core::process::{AddressSpace, ProcessId};
 use sim_core::program::Actor;
+use sim_core::session::TraceProgram;
 
 /// Domains of the two covert-channel parties and the optional noise process.
 pub(crate) const RECEIVER_DOMAIN: u16 = 1;
 pub(crate) const SENDER_DOMAIN: u16 = 2;
 pub(crate) const NOISE_DOMAIN: u16 = 3;
+
+/// The three parties of one frame, built identically by the compiled and
+/// stepped backends (and by [`compile_frame`], which never executes).
+struct FrameParties {
+    sender: WbSender,
+    receiver: WbReceiver,
+    noise: Option<NoisyNeighbor>,
+    /// The cycle budget `run_session` is given for this frame.
+    limit: u64,
+}
+
+impl FrameParties {
+    fn build(
+        config: &ChannelConfig,
+        geometry: CacheGeometry,
+        frame: &Frame,
+        seed: u64,
+    ) -> FrameParties {
+        let receiver_layout = ChannelLayout::build(
+            AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
+            geometry,
+            config.target_set,
+            geometry.associativity,
+            config.replacement_size,
+        );
+        let sender_lines = SetLines::build(
+            AddressSpace::new(ProcessId(SENDER_DOMAIN)),
+            geometry,
+            config.target_set,
+            geometry.associativity,
+            0,
+        );
+
+        let symbols = config.encoding.bits_to_symbols(frame.bits());
+        let symbol_count = symbols.len();
+        // Rendezvous time agreed by both parties: generously after the
+        // receiver's initialisation phase (28 cold loads) has finished.
+        let epoch = 50_000u64;
+        let sender = WbSender::new(
+            SENDER_DOMAIN,
+            sender_lines,
+            config.encoding.clone(),
+            symbols,
+            config.period_cycles,
+        )
+        .with_start_epoch(epoch);
+        // A few extra samples so that losses at the end can still be seen.
+        let max_samples = symbol_count + 4;
+        let receiver = WbReceiver::with_default_phase(
+            RECEIVER_DOMAIN,
+            receiver_layout,
+            config.period_cycles,
+            max_samples,
+            seed,
+        )
+        .with_start_epoch(epoch);
+
+        let limit = epoch + (max_samples as u64 + 8) * config.period_cycles + 200_000;
+        let noise = config.noise.map(|n| {
+            NoisyNeighbor::new(
+                AddressSpace::new(ProcessId(NOISE_DOMAIN)),
+                geometry,
+                config.target_set,
+                n.lines,
+                n.interval,
+                n.store_fraction,
+                NOISE_DOMAIN,
+                seed ^ 0x6e6f,
+            )
+        });
+
+        FrameParties {
+            sender,
+            receiver,
+            noise,
+            limit,
+        }
+    }
+}
+
+/// One frame's compiled trace programs and cycle budget — the output of
+/// [`compile_frame`], produced without executing a single simulated cycle.
+#[derive(Debug, Clone)]
+pub struct CompiledFrame {
+    /// Per-party programs in execution order: sender, receiver, then the
+    /// noisy neighbour when the config has one.
+    pub programs: Vec<TraceProgram>,
+    /// The cycle budget `Machine::run_session` would be given.
+    pub limit: u64,
+}
+
+/// Compiles the first frame of a `payload` transmission under `config`
+/// exactly as [`ChannelSession::transmit_bits`] would — same per-frame seed
+/// derivation, layouts, rendezvous epoch and cycle budget — but without
+/// building a machine, calibrating, or executing anything.
+///
+/// This is the entry point of the `repro check` static gate: every program
+/// can be handed to [`TraceProgram::verify`] before any simulation runs.
+pub fn compile_frame(config: &ChannelConfig, payload: &[bool]) -> CompiledFrame {
+    let frame = Frame::from_payload(payload);
+    // The first transmission of a session: frames_sent == 1.
+    let seed = config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+    let geometry = config.machine_config(seed).hierarchy.l1d.geometry;
+    let parties = FrameParties::build(config, geometry, &frame, seed);
+    let mut programs = vec![parties.sender.compile(), parties.receiver.compile()];
+    if let Some(noise) = &parties.noise {
+        programs.push(noise.compile(parties.limit));
+    }
+    CompiledFrame {
+        programs,
+        limit: parties.limit,
+    }
+}
 
 /// Which transmit engine executes a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,59 +351,12 @@ impl ChannelSession {
             None => self.machine.insert(Machine::new(machine_config)?),
         };
         let geometry = machine.l1_geometry();
-
-        let receiver_layout = ChannelLayout::build(
-            AddressSpace::new(ProcessId(RECEIVER_DOMAIN)),
-            geometry,
-            self.config.target_set,
-            geometry.associativity,
-            self.config.replacement_size,
-        );
-        let sender_lines = SetLines::build(
-            AddressSpace::new(ProcessId(SENDER_DOMAIN)),
-            geometry,
-            self.config.target_set,
-            geometry.associativity,
-            0,
-        );
-
-        let symbols = self.config.encoding.bits_to_symbols(frame.bits());
-        let symbol_count = symbols.len();
-        // Rendezvous time agreed by both parties: generously after the
-        // receiver's initialisation phase (28 cold loads) has finished.
-        let epoch = 50_000u64;
-        let sender = WbSender::new(
-            SENDER_DOMAIN,
-            sender_lines,
-            self.config.encoding.clone(),
-            symbols,
-            self.config.period_cycles,
-        )
-        .with_start_epoch(epoch);
-        // A few extra samples so that losses at the end can still be seen.
-        let max_samples = symbol_count + 4;
-        let receiver = WbReceiver::with_default_phase(
-            RECEIVER_DOMAIN,
-            receiver_layout,
-            self.config.period_cycles,
-            max_samples,
-            seed,
-        )
-        .with_start_epoch(epoch);
-
-        let limit = epoch + (max_samples as u64 + 8) * self.config.period_cycles + 200_000;
-        let noise = self.config.noise.map(|n| {
-            NoisyNeighbor::new(
-                AddressSpace::new(ProcessId(NOISE_DOMAIN)),
-                geometry,
-                self.config.target_set,
-                n.lines,
-                n.interval,
-                n.store_fraction,
-                NOISE_DOMAIN,
-                seed ^ 0x6e6f,
-            )
-        });
+        let FrameParties {
+            sender,
+            receiver,
+            noise,
+            limit,
+        } = FrameParties::build(&self.config, geometry, frame, seed);
 
         let latencies = match backend {
             Backend::Compiled => {
@@ -397,6 +465,37 @@ mod tests {
                 assert_eq!(a, b, "backends diverged for {label}");
             }
         }
+    }
+
+    /// `compile_frame` must mirror the first transmission of a fresh session
+    /// (same seed derivation and party construction) and verify clean.
+    #[test]
+    fn compile_frame_is_deterministic_verified_and_complete() {
+        let payload: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+
+        let base = config(5);
+        let compiled = compile_frame(&base, &payload);
+        assert_eq!(compiled.programs.len(), 2, "sender + receiver");
+        assert_eq!(compiled.programs[0].name(), "wb-sender");
+        assert_eq!(compiled.programs[1].name(), "wb-receiver");
+        assert!(compiled.limit > 50_000);
+        for program in &compiled.programs {
+            assert_eq!(program.verify(), Vec::new(), "{}", program.name());
+            assert!(program.action_count() > 1);
+        }
+        let again = compile_frame(&base, &payload);
+        assert_eq!(again.programs, compiled.programs);
+        assert_eq!(again.limit, compiled.limit);
+
+        let mut noisy = config(5);
+        noisy.noise = Some(NoiseConfig {
+            interval: 1_500,
+            lines: 2,
+            store_fraction: 0.4,
+        });
+        let with_noise = compile_frame(&noisy, &payload);
+        assert_eq!(with_noise.programs.len(), 3, "sender + receiver + noise");
+        assert_eq!(with_noise.programs[2].verify(), Vec::new());
     }
 
     #[test]

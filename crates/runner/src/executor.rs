@@ -90,6 +90,8 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
                 // Announce the scenario when its first point actually starts
                 // executing, not when it was queued.
                 if progress && !announced[si].swap(true, Ordering::AcqRel) {
+                    // Operator-facing progress, opt-in via `config.progress`
+                    // and never part of results: lint:allow(println-in-lib)
                     eprintln!(
                         "[repro] run {} ({}) points={} seed={:#018x} scale={}",
                         scenario.id,
@@ -103,6 +105,7 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
                 let output = (scenario.run_point)(&ctx);
                 let finished_ms = epoch.elapsed().as_secs_f64() * 1e3;
                 if remaining[si].fetch_sub(1, Ordering::AcqRel) == 1 && progress {
+                    // lint:allow(println-in-lib) opt-in progress line
                     eprintln!("[repro] done {}", scenario.id);
                 }
                 PointRun {

@@ -110,7 +110,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
+    fn consume(&mut self, byte: u8) -> Result<(), String> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -183,32 +183,36 @@ impl Parser<'_> {
                 "only unsigned integers are accepted (byte {start})"
             ));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
-        text.parse()
+        // The slice holds only ASCII digits, so UTF-8 re-validation cannot
+        // fail; routed through the error path anyway — the parser never
+        // panics on request bytes.
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("malformed number at byte {start}"))?
+            .parse()
             .map(Json::UInt)
             .map_err(|_| format!("integer out of range at byte {start}"))
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut fields = Vec::new();
         if self.try_consume(b'}') {
             return Ok(Json::Object(fields));
         }
         loop {
             let key = self.string()?;
-            self.expect(b':')?;
+            self.consume(b':')?;
             let value = self.value()?;
             fields.push((key, value));
             if !self.try_consume(b',') {
-                self.expect(b'}')?;
+                self.consume(b'}')?;
                 return Ok(Json::Object(fields));
             }
         }
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         if self.try_consume(b']') {
             return Ok(Json::Array(items));
@@ -216,7 +220,7 @@ impl Parser<'_> {
         loop {
             items.push(self.value()?);
             if !self.try_consume(b',') {
-                self.expect(b']')?;
+                self.consume(b']')?;
                 return Ok(Json::Array(items));
             }
         }
@@ -236,7 +240,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             let rest = &self.bytes[self.pos..];
@@ -304,10 +308,9 @@ impl Parser<'_> {
                     // remainder per character would make one long string
                     // O(n²) — a cheap CPU-exhaustion vector against the
                     // resident server.
-                    let c = self.text[self.pos..]
-                        .chars()
-                        .next()
-                        .expect("non-empty by construction");
+                    let Some(c) = self.text[self.pos..].chars().next() else {
+                        return Err("unterminated string".to_owned());
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -31,7 +31,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Upper bound on concurrent connection-handler threads; connections beyond
@@ -90,7 +90,9 @@ impl QueueState {
     fn retire(&mut self, id: u64, history: usize) {
         self.finished.push_back(id);
         while self.finished.len() > history {
-            let evicted = self.finished.pop_front().expect("len checked");
+            let Some(evicted) = self.finished.pop_front() else {
+                break;
+            };
             self.jobs.remove(&evicted);
         }
     }
@@ -113,9 +115,18 @@ struct Shared {
 }
 
 impl Shared {
+    /// Locks the queue, recovering from poisoning. The state is a plain
+    /// collection of job records and stays structurally valid even if a
+    /// holder panicked mid-update (the workers additionally catch job
+    /// panics and retire the job as errored), so a request must never be
+    /// answered with a panic just because another thread once unwound here.
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// True once the queue holds no pending or running job.
     fn idle(&self) -> bool {
-        let queue = self.queue.lock().expect("queue lock poisoned");
+        let queue = self.lock_queue();
         queue.pending.is_empty() && queue.running == 0
     }
 }
@@ -243,18 +254,22 @@ impl Server {
 fn worker_loop(shared: &Shared) {
     loop {
         let job_id = {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = shared.lock_queue();
             loop {
                 if let Some(id) = queue.pending.pop_front() {
                     queue.running += 1;
-                    let job = queue.jobs.get_mut(&id).expect("queued job exists");
-                    job.state = JobState::Running;
+                    if let Some(job) = queue.jobs.get_mut(&id) {
+                        job.state = JobState::Running;
+                    }
                     break id;
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared.wake.wait(queue).expect("queue lock poisoned");
+                queue = shared
+                    .wake
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // A panic escaping `run_job` (e.g. from a scenario's `assemble`
@@ -266,28 +281,30 @@ fn worker_loop(shared: &Shared) {
         }))
         .is_err();
         {
-            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            let mut queue = shared.lock_queue();
             queue.running -= 1;
             if panicked {
                 let history = shared.job_history;
-                let job = queue.jobs.get_mut(&job_id).expect("running job exists");
-                job.state = JobState::Done;
-                // `run_job` unwound before recording anything: resolve the
-                // keys so scenarios that *did* land in the cache (earlier
-                // hits, or runs completed before the panic) still serve
-                // their bodies; only the keys with no body count as errors.
-                job.keys = job
-                    .scenario_ids
-                    .iter()
-                    .map(|id| result_key(id, job.spec.scale, job.spec.seed))
-                    .collect();
-                job.errors = job
-                    .keys
-                    .iter()
-                    .filter(|key| shared.cache.get(key).is_none())
-                    .count()
-                    .max(1);
-                queue.retire(job_id, history);
+                if let Some(job) = queue.jobs.get_mut(&job_id) {
+                    job.state = JobState::Done;
+                    // `run_job` unwound before recording anything: resolve
+                    // the keys so scenarios that *did* land in the cache
+                    // (earlier hits, or runs completed before the panic)
+                    // still serve their bodies; only the keys with no body
+                    // count as errors.
+                    job.keys = job
+                        .scenario_ids
+                        .iter()
+                        .map(|id| result_key(id, job.spec.scale, job.spec.seed))
+                        .collect();
+                    job.errors = job
+                        .keys
+                        .iter()
+                        .filter(|key| shared.cache.get(key).is_none())
+                        .count()
+                        .max(1);
+                    queue.retire(job_id, history);
+                }
             }
         }
         if panicked {
@@ -302,10 +319,14 @@ fn worker_loop(shared: &Shared) {
 /// Executes one job: serve scenarios from the cache where possible, run the
 /// rest, record everything back on the job.
 fn run_job(shared: &Shared, job_id: u64) {
-    let (spec, scenario_ids) = {
-        let queue = shared.queue.lock().expect("queue lock poisoned");
-        let job = queue.jobs.get(&job_id).expect("running job exists");
-        (job.spec.clone(), job.scenario_ids.clone())
+    let Some((spec, scenario_ids)) = ({
+        let queue = shared.lock_queue();
+        queue
+            .jobs
+            .get(&job_id)
+            .map(|job| (job.spec.clone(), job.scenario_ids.clone()))
+    }) else {
+        return;
     };
 
     let keys: Vec<String> = scenario_ids
@@ -326,9 +347,11 @@ fn run_job(shared: &Shared, job_id: u64) {
     let mut errors = 0usize;
     let mut error_bodies: Vec<(String, Arc<str>)> = Vec::new();
     if !uncached.is_empty() {
+        // Ids were resolved against the registry at submission; filter_map
+        // keeps an impossible miss from panicking the worker.
         let selected: Vec<&Scenario> = uncached
             .iter()
-            .map(|id| shared.registry.get(id).expect("resolved at submission"))
+            .filter_map(|id| shared.registry.get(id))
             .collect();
         let config = RunConfig {
             scale: spec.scale,
@@ -356,15 +379,16 @@ fn run_job(shared: &Shared, job_id: u64) {
         }
     }
 
-    let mut queue = shared.queue.lock().expect("queue lock poisoned");
-    let job = queue.jobs.get_mut(&job_id).expect("running job exists");
-    job.state = JobState::Done;
-    job.keys = keys;
-    job.cache_hits = hits;
-    job.cache_misses = uncached.len();
-    job.errors = errors;
-    job.error_bodies = error_bodies;
-    queue.retire(job_id, shared.job_history);
+    let mut queue = shared.lock_queue();
+    if let Some(job) = queue.jobs.get_mut(&job_id) {
+        job.state = JobState::Done;
+        job.keys = keys;
+        job.cache_hits = hits;
+        job.cache_misses = uncached.len();
+        job.errors = errors;
+        job.error_bodies = error_bodies;
+        queue.retire(job_id, shared.job_history);
+    }
     drop(queue);
     shared.metrics.record_job_finished(errors > 0);
 }
@@ -465,7 +489,7 @@ fn submit_job(shared: &Shared, body: &str) -> Response {
         Ok(selected) => selected.iter().map(|s| s.id).collect(),
         Err(message) => return Response::error(400, &message),
     };
-    let mut queue = shared.queue.lock().expect("queue lock poisoned");
+    let mut queue = shared.lock_queue();
     // Checked under the queue lock: a job enqueued after the workers
     // observed (shutdown && pending empty) and exited would strand in the
     // queue and wedge the accept loop's idle check forever. Under the lock,
@@ -501,7 +525,7 @@ fn job_status(shared: &Shared, name: &str) -> Response {
         return Response::error(400, &format!("malformed job id {name:?} (expected j<n>)"));
     };
     let snapshot = {
-        let queue = shared.queue.lock().expect("queue lock poisoned");
+        let queue = shared.lock_queue();
         queue.jobs.get(&id).cloned()
     };
     let Some(job) = snapshot else {

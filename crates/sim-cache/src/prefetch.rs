@@ -11,6 +11,8 @@
 //!   drives these models directly.
 
 use crate::addr::{CacheGeometry, PhysAddr};
+// Keyed lookups by domain only — never iterated, so the random hasher
+// cannot leak into results: lint:allow(default-hasher)
 use std::collections::HashMap;
 
 /// Configuration for the next-line prefetcher.
@@ -72,7 +74,7 @@ impl NextLinePrefetcher {
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
     degree: usize,
-    state: HashMap<u16, StrideEntry>,
+    state: HashMap<u16, StrideEntry>, // lint:allow(default-hasher) keyed only
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -87,7 +89,7 @@ impl StridePrefetcher {
     pub fn new(degree: usize) -> StridePrefetcher {
         StridePrefetcher {
             degree,
-            state: HashMap::new(),
+            state: HashMap::new(), // lint:allow(default-hasher) keyed only
         }
     }
 

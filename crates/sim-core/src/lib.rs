@@ -68,6 +68,7 @@ pub mod program;
 pub mod sched;
 pub mod session;
 pub mod tsc;
+pub mod verify;
 pub mod workload;
 
 /// Convenient glob-import of the most frequently used types.
@@ -81,4 +82,5 @@ pub mod prelude {
     pub use crate::sched::InterruptConfig;
     pub use crate::session::{Measurement, ProgramReport, SessionReport, TraceProgram, TraceStep};
     pub use crate::tsc::{TscConfig, TscModel};
+    pub use crate::verify::{ProgramDiagnostic, ProgramStats, Severity};
 }

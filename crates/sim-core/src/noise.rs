@@ -86,6 +86,9 @@ impl NoisyNeighbor {
                 program.load(addr);
             }
         }
+        if cfg!(debug_assertions) {
+            program.assert_valid();
+        }
         program
     }
 }

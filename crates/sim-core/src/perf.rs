@@ -8,7 +8,7 @@
 use sim_cache::line::DomainId;
 use sim_cache::outcome::{AccessKind, AccessOutcome, HitLevel};
 use sim_cache::trace::TraceSummary;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Counters for one process/domain, mirroring the events the paper samples
 /// with `perf` (`L1-dcache-loads`, `L1-dcache-load-misses`, and the L2/LLC
@@ -152,7 +152,9 @@ pub enum PerfLevel {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfStore {
-    counters: HashMap<DomainId, PerfCounters>,
+    // BTreeMap so `iter()` walks domains in a stable order regardless of
+    // process-level hasher seeding.
+    counters: BTreeMap<DomainId, PerfCounters>,
 }
 
 impl PerfStore {

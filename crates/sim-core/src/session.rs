@@ -221,6 +221,15 @@ impl TraceProgram {
         self.steps.push(TraceStep::Anchor);
         self
     }
+
+    /// Appends a raw step without the builder's arena bookkeeping — the
+    /// escape hatch [`crate::verify`]'s negative-path tests use to build
+    /// ill-formed programs the safe builder cannot express.
+    #[cfg(test)]
+    pub(crate) fn push_raw_step(&mut self, step: TraceStep) -> &mut Self {
+        self.steps.push(step);
+        self
+    }
 }
 
 /// One `rdtscp` measurement taken by a program's [`TraceStep::Chase`].

@@ -37,6 +37,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use analysis;
 pub use baselines;
 pub use defenses;
