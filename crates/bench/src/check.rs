@@ -46,6 +46,11 @@ pub struct ScenarioCheck {
     /// the default-hierarchy compile of every config — the `--verbose`
     /// regression-tracking numbers, independent of the preset sweep.
     pub stats: ProgramStats,
+    /// Compiled steps carrying a telemetry phase annotation, over the
+    /// default-hierarchy compiles (the `--verbose` span-coverage numbers).
+    pub attributed_steps: usize,
+    /// All compiled steps over the default-hierarchy compiles.
+    pub total_steps: usize,
     /// Rendered diagnostics, each prefixed with its variant and program.
     pub findings: Vec<String>,
 }
@@ -96,8 +101,9 @@ fn config(
 
 /// The representative configurations of one scenario: every encoding ×
 /// period cell the scenario actually sweeps (or the paper-default channel
-/// for scenarios that never transmit).
-fn scenario_configs(id: &str) -> Result<Vec<(String, ChannelConfig)>, String> {
+/// for scenarios that never transmit).  Shared with [`crate::trace`], which
+/// runs the first cell with telemetry enabled.
+pub(crate) fn scenario_configs(id: &str) -> Result<Vec<(String, ChannelConfig)>, String> {
     let binary = |d: usize| SymbolEncoding::binary(d).map_err(|e| e.to_string());
     match id {
         "fig5-7" => Ok(vec![
@@ -200,6 +206,8 @@ fn check_scenario(id: &'static str) -> Result<ScenarioCheck, String> {
         variants: 0,
         programs: 0,
         stats: ProgramStats::default(),
+        attributed_steps: 0,
+        total_steps: 0,
         findings: Vec::new(),
     };
     for (config_label, base) in &configs {
@@ -218,6 +226,21 @@ fn check_scenario(id: &'static str) -> Result<ScenarioCheck, String> {
                 check.programs += 1;
                 if preset.is_none() {
                     check.stats.merge(&program.stats());
+                    // Span coverage: every compiled step should carry a
+                    // telemetry phase annotation, or `repro trace` would
+                    // report its cycles as unattributed `other` time.
+                    let (attributed, total) = program.phase_coverage();
+                    check.attributed_steps += attributed;
+                    check.total_steps += total;
+                    if attributed < total {
+                        check.findings.push(format!(
+                            "{id} [{config_label} / {variant_label}] {}: warn: {} of {} \
+                             compiled steps lack a phase annotation",
+                            program.name(),
+                            total - attributed,
+                            total,
+                        ));
+                    }
                 }
                 for diagnostic in program.verify() {
                     check.findings.push(format!(
@@ -274,6 +297,14 @@ mod tests {
             assert!(check.programs >= 2 * check.variants, "{}", check.id);
             assert!(check.stats.ops > 0, "{}", check.id);
             assert!(check.stats.chases > 0, "{}", check.id);
+            // Full span coverage: every compiled step of every protocol
+            // program is attributable to a telemetry phase.
+            assert!(check.total_steps > 0, "{}", check.id);
+            assert_eq!(
+                check.attributed_steps, check.total_steps,
+                "{}: uninstrumented protocol steps",
+                check.id
+            );
         }
     }
 

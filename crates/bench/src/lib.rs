@@ -33,6 +33,7 @@
 pub mod bench_sim;
 pub mod check;
 pub mod scenarios;
+pub mod trace;
 
 pub use runner::scale::{Scale, Sizes};
 pub use scenarios::{registry, ALL_SCENARIOS, SEED};

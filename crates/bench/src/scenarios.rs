@@ -46,11 +46,19 @@ fn err(error: Error) -> String {
     error.to_string()
 }
 
-/// Attaches a channel session's cumulative simulated-work counters to a
-/// point output (the session-backed scenarios all report them the same way).
-fn with_sim_usage(mut output: PointOutput, usage: wb_channel::session::SimUsage) -> PointOutput {
+/// Attaches a channel session's cumulative simulated-work counters — totals
+/// plus the per-phase cycle attribution feeding the manifest's phase columns
+/// — to a point output (the session-backed scenarios all report them the
+/// same way).
+fn with_sim_usage(mut output: PointOutput, channel: &CovertChannel) -> PointOutput {
+    use sim_core::telemetry::Phase;
+    let usage = channel.sim_usage();
     output.sim_cycles = usage.cycles();
     output.sim_accesses = usage.accesses();
+    for (phase, cycles) in usage.phase_cycles.iter() {
+        output.phase_cycles[phase.index()] = cycles;
+    }
+    output.phase_cycles[Phase::Calibrate.index()] += channel.calibration_cycles();
     output
 }
 
@@ -327,7 +335,7 @@ fn traces_point(ctx: &PointCtx) -> Result<PointOutput, String> {
             report.edit_distance.to_string(),
             percent2(report.bit_error_rate()),
         ]),
-        channel.sim_usage(),
+        &channel,
     ))
 }
 
@@ -405,7 +413,7 @@ fn fig6_point(ctx: &PointCtx) -> Result<PointOutput, String> {
             fixed(report.rate_kbps, 0),
             percent2(report.mean_bit_error_rate),
         ]),
-        channel.sim_usage(),
+        &channel,
     ))
 }
 
@@ -720,7 +728,7 @@ fn bandwidth_point(ctx: &PointCtx) -> Result<PointOutput, String> {
             }
             .to_owned(),
         ]),
-        channel.sim_usage(),
+        &channel,
     ))
 }
 
@@ -918,7 +926,7 @@ fn hierarchy_matrix_point(ctx: &PointCtx) -> Result<PointOutput, String> {
         if ber == 0.0 { "yes" } else { "no" }.to_owned(),
     ]);
     output.values = vec![ber];
-    Ok(with_sim_usage(output, channel.sim_usage()))
+    Ok(with_sim_usage(output, &channel))
 }
 
 fn hierarchy_matrix_assemble(_: Scale, outputs: &[PointOutput]) -> Vec<(String, Table)> {

@@ -173,6 +173,21 @@ pub fn replacement_latency_samples(
     config: &CalibrationConfig,
     d: usize,
 ) -> Result<Vec<u64>, Error> {
+    replacement_latency_samples_with_cycles(config, d).map(|(samples, _)| samples)
+}
+
+/// As [`replacement_latency_samples`], but also reports the simulated cycles
+/// the measurement machine consumed (warm-up, encoding bursts and sweeps
+/// combined) — the cycle-attribution source for calibrate-phase telemetry.
+///
+/// # Errors
+///
+/// Returns an error if the configuration is invalid or `d` exceeds the
+/// associativity.
+pub fn replacement_latency_samples_with_cycles(
+    config: &CalibrationConfig,
+    d: usize,
+) -> Result<(Vec<u64>, u64), Error> {
     let mut bench = Bench::new(config)?;
     if d > bench.machine.l1_geometry().associativity {
         return Err(Error::InvalidConfig {
@@ -187,7 +202,7 @@ pub fn replacement_latency_samples(
         bench.machine.run_trace(SENDER_DOMAIN, &encode);
         samples.push(bench.sweep());
     }
-    Ok(samples)
+    Ok((samples, bench.machine.now()))
 }
 
 /// The data behind the paper's Figure 4: one latency CDF per dirty-line
@@ -240,8 +255,34 @@ pub fn calibrate_decoder(
     config: &CalibrationConfig,
     encoding: &SymbolEncoding,
 ) -> Result<Decoder, Error> {
-    let classes = calibration_classes(config, encoding)?;
-    Decoder::from_calibration(encoding.clone(), &classes)
+    calibrate_decoder_with_cycles(config, encoding).map(|(decoder, _)| decoder)
+}
+
+/// As [`calibrate_decoder`], but also reports the total simulated cycles the
+/// calibration consumed across every latency class (one fresh measurement
+/// machine per class).  [`crate::session::ChannelSession`] records this as
+/// the session's calibrate-phase span.
+///
+/// # Errors
+///
+/// Returns calibration errors if the latency classes cannot be separated
+/// (which happens, by design, under some of the defenses).
+pub fn calibrate_decoder_with_cycles(
+    config: &CalibrationConfig,
+    encoding: &SymbolEncoding,
+) -> Result<(Decoder, u64), Error> {
+    let mut cycles = 0u64;
+    let classes: Vec<Vec<f64>> = encoding
+        .levels()
+        .iter()
+        .map(|&d| {
+            let (samples, machine_cycles) = replacement_latency_samples_with_cycles(config, d)?;
+            cycles += machine_cycles;
+            Ok(samples.into_iter().map(|s| s as f64).collect())
+        })
+        .collect::<Result<_, Error>>()?;
+    let decoder = Decoder::from_calibration(encoding.clone(), &classes)?;
+    Ok((decoder, cycles))
 }
 
 /// The three access-latency classes of the paper's Table IV, measured as true

@@ -353,6 +353,11 @@ impl CovertChannel {
         self.session.sim_usage()
     }
 
+    /// Simulated cycles the decoder calibration consumed.
+    pub fn calibration_cycles(&self) -> u64 {
+        self.session.calibration_cycles()
+    }
+
     /// Transmits an arbitrary payload (the 16-bit preamble is prepended) and
     /// reports the outcome scored over the whole frame.
     ///

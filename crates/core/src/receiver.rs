@@ -131,7 +131,7 @@ impl WbReceiver {
             // The actor retires immediately without initialising.
             return program;
         }
-        program.ops(
+        program.phase(sim_core::telemetry::Phase::Prime).ops(
             self.layout
                 .replacement_a
                 .lines()
@@ -140,15 +140,20 @@ impl WbReceiver {
                 .chain(self.layout.target_lines.lines())
                 .map(|&addr| sim_cache::trace::TraceOp::read(addr)),
         );
-        program.wait_floor(self.start_at, self.phase);
+        program
+            .phase(sim_core::telemetry::Phase::Wait)
+            .wait_floor(self.start_at, self.phase);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7265_6376);
         for sample in 0..self.max_samples {
+            program.phase(sim_core::telemetry::Phase::Decode);
             program.anchor();
             let replacement = self.layout.replacement_for(sample as u64);
             let order = replacement.shuffled(&mut rng);
             program.chase(&order);
             if sample + 1 < self.max_samples {
-                program.wait_anchor(self.period);
+                program
+                    .phase(sim_core::telemetry::Phase::Wait)
+                    .wait_anchor(self.period);
             }
         }
         if cfg!(debug_assertions) {

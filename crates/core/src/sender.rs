@@ -143,12 +143,15 @@ impl WbSender {
         let mut program = TraceProgram::new(self.name.clone(), self.domain);
         if self.start_at > 0 {
             // `Tlast` is the epoch itself, however late the wait completes.
-            program.wait_epoch(self.start_at);
+            program
+                .phase(sim_core::telemetry::Phase::Wait)
+                .wait_epoch(self.start_at);
         } else {
             // `Tlast` is the time the first action issues.
-            program.anchor();
+            program.phase(sim_core::telemetry::Phase::Encode).anchor();
         }
         for (index, &symbol) in self.symbols.iter().enumerate() {
+            program.phase(sim_core::telemetry::Phase::Encode);
             if index > 0 {
                 // Each later period re-reads `Tlast` when its first action
                 // issues (the post-wait `next_action` call of the actor).
@@ -164,7 +167,9 @@ impl WbSender {
                     );
                 }
             }
-            program.wait_anchor(self.period);
+            program
+                .phase(sim_core::telemetry::Phase::Wait)
+                .wait_anchor(self.period);
         }
         if cfg!(debug_assertions) {
             program.assert_valid();

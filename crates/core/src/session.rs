@@ -24,7 +24,7 @@
 //!   noise
 //! ```
 
-use crate::calibration::{calibrate_decoder, CalibrationConfig};
+use crate::calibration::{calibrate_decoder_with_cycles, CalibrationConfig};
 use crate::capacity::{rate_kbps, RatePoint};
 use crate::channel::{ChannelConfig, EvaluationReport, TransmissionReport};
 use crate::error::Error;
@@ -42,6 +42,7 @@ use sim_core::noise::NoisyNeighbor;
 use sim_core::process::{AddressSpace, ProcessId};
 use sim_core::program::Actor;
 use sim_core::session::TraceProgram;
+use sim_core::telemetry::{BitDecision, Phase, PhaseCycles, TraceEvent, TraceSink};
 
 /// Domains of the two covert-channel parties and the optional noise process.
 pub(crate) const RECEIVER_DOMAIN: u16 = 1;
@@ -182,6 +183,9 @@ pub struct SimUsage {
     /// Aggregate of every memory operation simulated across all frames
     /// (sender, receiver and noise domains combined).
     pub summary: TraceSummary,
+    /// Per-protocol-phase attribution of the executed programs' step cycles
+    /// (compiled backend; always maintained, independent of event tracing).
+    pub phase_cycles: PhaseCycles,
 }
 
 impl SimUsage {
@@ -207,6 +211,15 @@ pub struct ChannelSession {
     sim: SimUsage,
     /// The transmit machine, reset (not reallocated) between frames.
     machine: Option<Machine>,
+    /// Session-level telemetry sink; null (zero-overhead) unless
+    /// [`ChannelSession::enable_tracing`] is called.
+    sink: TraceSink,
+    /// Simulated cycles the calibration consumed (the calibrate span).
+    calibration_cycles: u64,
+    /// The session timeline clock: cumulative simulated cycles of the
+    /// calibration plus every transmitted frame, used to stitch per-frame
+    /// machine timelines (each starting at cycle 0) into one monotone trace.
+    clock: u64,
 }
 
 impl ChannelSession {
@@ -224,7 +237,8 @@ impl ChannelSession {
             samples_per_level: config.calibration_samples,
             seed: config.seed ^ 0xca11,
         };
-        let decoder = calibrate_decoder(&calibration, &config.encoding)?;
+        let (decoder, calibration_cycles) =
+            calibrate_decoder_with_cycles(&calibration, &config.encoding)?;
         Ok(ChannelSession {
             rng: StdRng::seed_from_u64(config.seed ^ 0xc0de),
             decoder,
@@ -232,7 +246,51 @@ impl ChannelSession {
             frames_sent: 0,
             sim: SimUsage::default(),
             machine: None,
+            sink: TraceSink::disabled(),
+            calibration_cycles,
+            clock: calibration_cycles,
         })
+    }
+
+    /// Turns on span/event telemetry for the rest of the session.
+    ///
+    /// The calibration that already ran is recorded retroactively as a
+    /// `calibrate` span covering `[0, calibration_cycles)` of the session
+    /// timeline; every subsequent frame appends a `frame` span containing the
+    /// machine's per-phase spans (stitched onto the monotone session clock)
+    /// and one [`BitDecision`] event per decoded latency sample.  Tracing
+    /// never touches the machine's RNG, TSC or scheduler state, so a traced
+    /// session produces bit-identical reports to an untraced one.
+    pub fn enable_tracing(&mut self) {
+        if self.sink.is_enabled() {
+            return;
+        }
+        self.sink = TraceSink::active();
+        self.sink.begin(0, "calibrate", Phase::Calibrate, 0);
+        self.sink.end(0, "calibrate", self.calibration_cycles);
+        if let Some(machine) = self.machine.as_mut() {
+            machine.enable_tracing();
+        }
+    }
+
+    /// Whether session telemetry is recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// The events recorded so far (empty when tracing is disabled).
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.sink.events()
+    }
+
+    /// Drains the recorded events, leaving the sink recording.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.sink.take()
+    }
+
+    /// Simulated cycles the decoder calibration consumed.
+    pub fn calibration_cycles(&self) -> u64 {
+        self.calibration_cycles
     }
 
     /// The session configuration.
@@ -350,6 +408,9 @@ impl ChannelSession {
             }
             None => self.machine.insert(Machine::new(machine_config)?),
         };
+        if self.sink.is_enabled() && !machine.tracing_enabled() {
+            machine.enable_tracing();
+        }
         let geometry = machine.l1_geometry();
         let FrameParties {
             sender,
@@ -370,6 +431,7 @@ impl ChannelSession {
                 let report = machine.run_session(&programs, &mut [], limit);
                 self.sim.frames += 1;
                 self.sim.summary.merge(&report.total_summary());
+                self.sim.phase_cycles.merge(&report.phase_cycles());
                 report.programs[1].latencies()
             }
             Backend::Stepped => {
@@ -388,6 +450,33 @@ impl ChannelSession {
         let decoded = self.decoder.bits(&latencies);
         let max_shift = 4 * self.config.encoding.bits_per_symbol();
         let alignment = align_and_score(frame.bits(), &decoded, max_shift);
+
+        if self.sink.is_enabled() {
+            let offset = self.clock;
+            let frame_cycles = self.machine.as_ref().map_or(0, Machine::now);
+            self.sink.begin(0, "frame", Phase::Other, offset);
+            if let Some(machine) = self.machine.as_mut() {
+                self.sink.absorb(machine.take_trace(), offset);
+            }
+            let threshold = self.decoder.binary_threshold();
+            let end = offset + frame_cycles;
+            for (index, &measured) in latencies.iter().enumerate() {
+                self.sink.bit(
+                    0,
+                    BitDecision {
+                        frame: self.frames_sent,
+                        index,
+                        measured,
+                        threshold,
+                        margin: threshold.map(|t| measured as f64 - t),
+                        decoded: self.decoder.classify(measured) != 0,
+                    },
+                    end,
+                );
+            }
+            self.sink.end(0, "frame", end);
+            self.clock += frame_cycles;
+        }
 
         Ok(TransmissionReport {
             sent_bits: frame.bits().to_vec(),
@@ -496,6 +585,67 @@ mod tests {
         let with_noise = compile_frame(&noisy, &payload);
         assert_eq!(with_noise.programs.len(), 3, "sender + receiver + noise");
         assert_eq!(with_noise.programs[2].verify(), Vec::new());
+    }
+
+    /// Tentpole determinism gate: enabling telemetry must not change a single
+    /// bit of any transmission, and the recorded timeline must be a valid
+    /// (properly nested, per-domain monotone) session trace.
+    #[test]
+    fn tracing_is_inert_and_produces_a_valid_session_timeline() {
+        use sim_core::telemetry::{export, EventKind};
+
+        let config = config(11);
+        let payload: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let mut plain = ChannelSession::new(config.clone()).unwrap();
+        let mut traced = ChannelSession::new(config).unwrap();
+        traced.enable_tracing();
+        assert!(traced.tracing_enabled() && !plain.tracing_enabled());
+        for _ in 0..2 {
+            let frame = Frame::from_payload(&payload);
+            let a = plain.transmit_frame(&frame).unwrap();
+            let b = traced.transmit_frame(&frame).unwrap();
+            assert_eq!(a, b, "tracing must not perturb transmissions");
+        }
+        assert_eq!(plain.sim_usage(), traced.sim_usage());
+        assert!(traced.sim_usage().phase_cycles.total() > 0);
+        assert!(traced.calibration_cycles() > 0);
+        assert!(plain.trace_events().is_empty());
+
+        let events = traced.trace_events();
+        export::validate(events).expect("session trace must nest and stay monotone");
+        let session_spans: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Begin { name, .. } if e.domain == 0 => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(session_spans, ["calibrate", "frame", "frame"]);
+        let machine_spans: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Begin { name, .. } if e.domain != 0 => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        for expected in ["prime", "encode", "wait", "decode"] {
+            assert!(
+                machine_spans.contains(&expected),
+                "missing {expected} span in {machine_spans:?}"
+            );
+        }
+        let bits = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Bit(_)))
+            .count();
+        assert!(bits > 0, "per-frame bit-decision events must be recorded");
+
+        // Draining leaves the sink recording.
+        let event_count = events.len();
+        let drained = traced.take_trace();
+        assert_eq!(drained.len(), event_count);
+        assert!(traced.trace_events().is_empty());
+        assert!(traced.tracing_enabled());
     }
 
     #[test]

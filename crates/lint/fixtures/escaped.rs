@@ -12,6 +12,11 @@ pub fn wall_clock() -> u64 {
     started.elapsed().as_nanos() as u64
 }
 
+pub fn telemetry_wall_stamp() -> u64 {
+    // Replay tool mapping wall time onto cycles: lint:allow(telemetry-wall-clock, wall-clock)
+    sim_core::telemetry::cycle_stamp(Instant::now().elapsed().as_nanos() as u64)
+}
+
 pub fn hashers() -> usize {
     let map: HashMap<u8, u8> = HashMap::new(); // lint:allow(default-hasher) keyed only
     map.len()

@@ -11,6 +11,10 @@ pub fn wall_clock() -> u64 {
     started.elapsed().as_nanos() as u64
 }
 
+pub fn telemetry_wall_stamp() -> u64 {
+    sim_core::telemetry::cycle_stamp(Instant::now().elapsed().as_nanos() as u64)
+}
+
 pub fn hashers() -> usize {
     let map: HashMap<u8, u8> = HashMap::new();
     let set: HashSet<u8> = HashSet::new();

@@ -9,6 +9,7 @@
 //! | rule | scope | meaning |
 //! |---|---|---|
 //! | `wall-clock` | everywhere except the bench harness, the service (socket deadlines) and the runner's wall-time manifest field (`crates/runner/src/executor.rs`) | no `Instant::now` / `SystemTime`: simulated time is the only clock results may depend on |
+//! | `telemetry-wall-clock` | everywhere, **including** the wall-clock-exempt crates | no `Instant::now` / `SystemTime` on a line that touches `telemetry`: trace events are timestamped in simulated cycles only, even in code that is otherwise allowed to read the wall clock |
 //! | `default-hasher` | `sim-cache`, `sim-core`, `core`, `baselines`, `defenses` | no std `HashMap`/`HashSet`: the default hasher is seeded per-process, so iteration order is not reproducible |
 //! | `println-in-lib` | every library file (anything not under a `bin/` directory) | no `println!`/`eprintln!`: libraries report through return values, binaries own the terminal |
 //! | `service-unwrap` | the service's request-handling modules (`server.rs`, `http.rs`, `json.rs`) | no `.unwrap()`/`.expect(`: a malformed request must produce a 4xx/5xx response, never a worker panic |
@@ -42,8 +43,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Every rule the linter knows, in report order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "wall-clock",
+    "telemetry-wall-clock",
     "default-hasher",
     "println-in-lib",
     "service-unwrap",
@@ -209,6 +211,23 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
                         "wall-clock",
                         format!(
                             "`{token}`: simulated time is the only clock results may depend on"
+                        ),
+                    );
+                }
+            }
+        }
+        // No path exemptions here: even crates allowed to read the wall
+        // clock (bench, service, the runner's manifest field) must never
+        // let it reach a telemetry call site.
+        if text.contains("telemetry") {
+            for token in ["Instant::now", "SystemTime"] {
+                if text.contains(token) {
+                    push(
+                        line,
+                        "telemetry-wall-clock",
+                        format!(
+                            "`{token}` next to a telemetry call site: trace events are \
+                             timestamped in simulated cycles, never wall time"
                         ),
                     );
                 }
@@ -522,6 +541,7 @@ mod tests {
         let findings = lint_source("crates/sim-core/src/lib.rs", VIOLATIONS);
         for rule in [
             "wall-clock",
+            "telemetry-wall-clock",
             "default-hasher",
             "println-in-lib",
             "unsafe-header",
@@ -669,6 +689,37 @@ pub fn bad() -> std::collections::HashMap<u8, u8> {
             lint_source("crates/service/src/client.rs", unwrap),
             Vec::new()
         );
+    }
+
+    #[test]
+    fn telemetry_wall_clock_has_no_path_exemptions() {
+        let stamp = "fn f() { let _ = telemetry_stamp(Instant::now()); }\n";
+        // The wall-clock-exempt crates still trip the telemetry variant…
+        assert_eq!(
+            rules_of(&lint_source("crates/bench/src/bench_sim.rs", stamp)),
+            vec!["telemetry-wall-clock"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/service/src/metrics.rs", stamp)),
+            vec!["telemetry-wall-clock"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/runner/src/executor.rs", stamp)),
+            vec!["telemetry-wall-clock"]
+        );
+        // …while a simulation crate trips both clock rules on that line.
+        let both = rules_of(&lint_source("crates/sim-core/src/machine.rs", stamp));
+        assert!(both.contains(&"wall-clock"), "{both:?}");
+        assert!(both.contains(&"telemetry-wall-clock"), "{both:?}");
+        // Wall time away from telemetry keeps its existing scoping.
+        let clock = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(
+            lint_source("crates/bench/src/bench_sim.rs", clock),
+            Vec::new()
+        );
+        // Telemetry without wall time is, of course, fine anywhere.
+        let pure = "fn f(s: &mut telemetry::TraceSink, at: u64) { s.end(0, \"x\", at); }\n";
+        assert_eq!(lint_source("crates/core/src/session.rs", pure), Vec::new());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::pool::run_ordered_catch;
 use crate::scale::Scale;
-use crate::scenario::{PointCtx, PointOutput, Scenario};
+use crate::scenario::{PointCtx, PointOutput, Scenario, PHASE_COUNT};
 use analysis::table::Table;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -53,6 +53,9 @@ pub struct ScenarioRun {
     pub sim_cycles: u64,
     /// Simulated demand accesses summed over the scenario's points.
     pub sim_accesses: u64,
+    /// Per-phase simulated cycles summed over the scenario's points, in
+    /// [`crate::scenario::PHASE_LABELS`] order.
+    pub phase_cycles: [u64; PHASE_COUNT],
 }
 
 /// One task's result: timing plus the point outcome.
@@ -153,8 +156,8 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
             (finished - started).max(0.0)
         };
         let error = group.iter().find_map(|p| p.output.as_ref().err()).cloned();
-        let (tables, sim_cycles, sim_accesses) = if error.is_some() {
-            (Vec::new(), 0, 0)
+        let (tables, sim_cycles, sim_accesses, phase_cycles) = if error.is_some() {
+            (Vec::new(), 0, 0, [0u64; PHASE_COUNT])
         } else {
             let outputs: Vec<PointOutput> = group
                 .into_iter()
@@ -162,10 +165,17 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
                 .collect();
             let sim_cycles = outputs.iter().map(|o| o.sim_cycles).sum();
             let sim_accesses = outputs.iter().map(|o| o.sim_accesses).sum();
+            let mut phase_cycles = [0u64; PHASE_COUNT];
+            for output in &outputs {
+                for (slot, &cycles) in phase_cycles.iter_mut().zip(&output.phase_cycles) {
+                    *slot += cycles;
+                }
+            }
             (
                 (scenario.assemble)(config.scale, &outputs),
                 sim_cycles,
                 sim_accesses,
+                phase_cycles,
             )
         };
         runs.push(ScenarioRun {
@@ -179,6 +189,7 @@ pub fn execute(scenarios: &[&Scenario], config: &RunConfig) -> Vec<ScenarioRun> 
             error,
             sim_cycles,
             sim_accesses,
+            phase_cycles,
         });
     }
     runs

@@ -11,7 +11,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Column headers of the manifest table, in order.
-pub const MANIFEST_HEADERS: [&str; 10] = [
+///
+/// The per-phase cycle columns (one per [`crate::scenario::PHASE_LABELS`]
+/// entry) are appended after the original ten so positional consumers —
+/// including [`WALL_MS_COLUMN`] — keep their indices.
+pub const MANIFEST_HEADERS: [&str; 17] = [
     "id",
     "paper ref",
     "scale",
@@ -22,6 +26,13 @@ pub const MANIFEST_HEADERS: [&str; 10] = [
     "wall (ms)",
     "status",
     "outputs",
+    "calibrate cycles",
+    "prime cycles",
+    "encode cycles",
+    "wait cycles",
+    "decode cycles",
+    "noise cycles",
+    "other cycles",
 ];
 
 /// Index of the only non-deterministic manifest column (wall time) — the
@@ -37,7 +48,7 @@ pub fn manifest_table(runs: &[ScenarioRun]) -> Table {
             .iter()
             .map(|(stem, _)| format!("{stem}.{{md,csv,json}}"))
             .collect();
-        table.push_row([
+        let mut row = vec![
             run.id.to_owned(),
             run.paper_ref.to_owned(),
             run.scale.label().to_owned(),
@@ -50,7 +61,9 @@ pub fn manifest_table(runs: &[ScenarioRun]) -> Table {
                 .clone()
                 .map_or("ok".to_owned(), |e| format!("error: {e}")),
             outputs.join(" "),
-        ]);
+        ];
+        row.extend(run.phase_cycles.iter().map(u64::to_string));
+        table.push_row(row);
     }
     table
 }
@@ -82,9 +95,20 @@ mod tests {
             wall_ms: 1.25,
             sim_cycles: 0,
             sim_accesses: 0,
+            phase_cycles: [1, 2, 3, 4, 5, 6, 7],
             tables: vec![(id.to_owned(), Table::new("t", &["a"]))],
             error,
         }
+    }
+
+    #[test]
+    fn phase_cycle_columns_follow_the_phase_labels_in_order() {
+        use crate::scenario::PHASE_LABELS;
+        for (i, label) in PHASE_LABELS.iter().enumerate() {
+            assert_eq!(MANIFEST_HEADERS[10 + i], format!("{label} cycles"));
+        }
+        let table = manifest_table(&[run("table2", None)]);
+        assert_eq!(table.rows[0][10..], ["1", "2", "3", "4", "5", "6", "7"]);
     }
 
     #[test]

@@ -41,7 +41,29 @@ pub struct PointOutput {
     pub sim_cycles: u64,
     /// Simulated demand accesses this point executed (same source).
     pub sim_accesses: u64,
+    /// Simulated cycles attributed to each protocol phase, in
+    /// [`PHASE_LABELS`] order (all zero when the point does not instrument
+    /// its simulation).
+    pub phase_cycles: [u64; PHASE_COUNT],
 }
+
+/// Number of protocol-phase slots in [`PointOutput::phase_cycles`].
+pub const PHASE_COUNT: usize = 7;
+
+/// Labels of the phase-cycle slots, in slot order.
+///
+/// The order mirrors the simulator's telemetry phase taxonomy
+/// (`sim_core::telemetry::Phase::ALL`); the runner itself stays domain-free
+/// and treats these as opaque manifest column labels.
+pub const PHASE_LABELS: [&str; PHASE_COUNT] = [
+    "calibrate",
+    "prime",
+    "encode",
+    "wait",
+    "decode",
+    "noise",
+    "other",
+];
 
 impl PointOutput {
     /// A point output consisting of a single primary-table row.

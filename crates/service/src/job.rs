@@ -302,6 +302,7 @@ mod tests {
             wall_ms: 123.4,
             sim_cycles: 7,
             sim_accesses: 3,
+            phase_cycles: [0; runner::scenario::PHASE_COUNT],
             tables: vec![("table2".to_owned(), table)],
             error: None,
         };

@@ -1,11 +1,23 @@
-//! Per-endpoint request counters, job/queue gauges and the `/metrics` text
-//! rendering.
+//! Per-endpoint request counters, job/queue gauges, fixed-bucket latency
+//! histograms and the `/metrics` text rendering.
 //!
 //! Everything is a cheap relaxed atomic — recording a request is a handful
-//! of uncontended `fetch_add`s, so instrumentation never shows up next to
-//! the actual experiment work. The rendering is the conventional
-//! `name{label="value"} N` text format, one line per counter, so CI can
-//! assert on it with `grep` and a Prometheus scraper could ingest it as-is.
+//! of uncontended `fetch_add`s (one per counter plus one bucket slot), so
+//! instrumentation never shows up next to the actual experiment work. The
+//! rendering is the conventional `name{label="value"} N` text format, one
+//! line per counter, so CI can assert on it with `grep` and a Prometheus
+//! scraper could ingest it as-is.
+//!
+//! Two histogram families ride on top of the plain counters:
+//!
+//! * `service_request_duration_us` — per-endpoint wall-clock request
+//!   latency over the fixed [`LATENCY_BUCKETS_US`] bounds, with derived
+//!   p50/p90/p99 quantile lines (each quantile reports the upper bound of
+//!   the bucket the rank falls into — a conservative estimate that never
+//!   under-reports).
+//! * `service_scenario_sim_cycles` — per-scenario **simulated** cycles per
+//!   executed run over [`SIM_CYCLE_BUCKETS`]; wall-clock never leaks into
+//!   this family, matching the workspace's cycle-domain telemetry rule.
 
 use runner::pool::PoolStats;
 use std::collections::BTreeMap;
@@ -68,12 +80,80 @@ impl Endpoint {
     }
 }
 
-/// Request/error/latency counters for one endpoint.
+/// Upper bounds, in microseconds, of the fixed request-duration buckets.
+///
+/// The implicit final `+Inf` bucket catches everything slower than the last
+/// bound; cumulative rendering follows the Prometheus histogram convention.
+pub const LATENCY_BUCKETS_US: [u64; 10] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+];
+
+/// Upper bounds, in simulated cycles, of the per-scenario sim-work buckets.
+pub const SIM_CYCLE_BUCKETS: [u64; 6] = [
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// The quantiles derived from each request-duration histogram.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")];
+
+/// Bucket slots: one per finite bound plus the `+Inf` overflow slot.
+const LATENCY_SLOTS: usize = LATENCY_BUCKETS_US.len() + 1;
+const SIM_SLOTS: usize = SIM_CYCLE_BUCKETS.len() + 1;
+
+/// Index of the bucket slot a sample falls into (last slot = `+Inf`).
+fn bucket_index(bounds: &[u64], sample: u64) -> usize {
+    bounds
+        .iter()
+        .position(|&bound| sample <= bound)
+        .unwrap_or(bounds.len())
+}
+
+/// The upper bound of the bucket holding rank `ceil(q * total)` — a
+/// conservative quantile estimate (the true value is ≤ the reported bound
+/// unless the rank lands in the overflow slot, which reports the largest
+/// finite bound). Returns 0 when the histogram is empty.
+fn bucket_quantile(counts: &[u64], bounds: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (slot, &count) in counts.iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return bounds
+                .get(slot)
+                .copied()
+                .unwrap_or_else(|| *bounds.last().expect("non-empty bounds"));
+        }
+    }
+    *bounds.last().expect("non-empty bounds")
+}
+
+/// Request/error/latency counters for one endpoint, plus the fixed-bucket
+/// latency histogram slots.
 #[derive(Debug, Default)]
 struct EndpointCounters {
     requests: AtomicU64,
     errors: AtomicU64,
     latency_us: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_SLOTS],
+}
+
+/// Accumulated simulated work for one scenario: totals plus a fixed-bucket
+/// histogram of cycles per executed run.
+#[derive(Debug, Default, Clone)]
+struct ScenarioSim {
+    cycles: u64,
+    accesses: u64,
+    runs: u64,
+    cycle_buckets: [u64; SIM_SLOTS],
 }
 
 /// All service counters; one instance lives for the server's lifetime.
@@ -91,7 +171,7 @@ pub struct Metrics {
     /// trace engine's `TraceSummary`s and recorded when a job actually
     /// *runs* a scenario (cache hits simulate nothing).  A `BTreeMap` keeps
     /// the `/metrics` rendering in stable alphabetical order.
-    scenario_sim: Mutex<BTreeMap<&'static str, (u64, u64)>>,
+    scenario_sim: Mutex<BTreeMap<&'static str, ScenarioSim>>,
 }
 
 impl Metrics {
@@ -100,6 +180,8 @@ impl Metrics {
         let counters = &self.endpoints[endpoint.index()];
         counters.requests.fetch_add(1, Ordering::Relaxed);
         counters.latency_us.fetch_add(latency_us, Ordering::Relaxed);
+        counters.latency_buckets[bucket_index(&LATENCY_BUCKETS_US, latency_us)]
+            .fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             counters.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -131,9 +213,11 @@ impl Metrics {
     /// (cycles and demand accesses from its aggregated `TraceSummary`s).
     pub fn record_scenario_sim(&self, scenario: &'static str, cycles: u64, accesses: u64) {
         let mut map = self.scenario_sim.lock().expect("sim metrics lock");
-        let entry = map.entry(scenario).or_insert((0, 0));
-        entry.0 += cycles;
-        entry.1 += accesses;
+        let entry = map.entry(scenario).or_default();
+        entry.cycles += cycles;
+        entry.accesses += accesses;
+        entry.runs += 1;
+        entry.cycle_buckets[bucket_index(&SIM_CYCLE_BUCKETS, cycles)] += 1;
     }
 
     /// Current queue depth (queued + running jobs).
@@ -160,6 +244,35 @@ impl Metrics {
                 "service_http_latency_us_total{{endpoint=\"{label}\"}} {}\n",
                 counters.latency_us.load(Ordering::Relaxed)
             ));
+            let buckets: Vec<u64> = counters
+                .latency_buckets
+                .iter()
+                .map(|slot| slot.load(Ordering::Relaxed))
+                .collect();
+            let mut cumulative = 0u64;
+            for (slot, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += buckets[slot];
+                out.push_str(&format!(
+                    "service_request_duration_us_bucket{{endpoint=\"{label}\",le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += buckets[LATENCY_SLOTS - 1];
+            out.push_str(&format!(
+                "service_request_duration_us_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!(
+                "service_request_duration_us_sum{{endpoint=\"{label}\"}} {}\n",
+                counters.latency_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "service_request_duration_us_count{{endpoint=\"{label}\"}} {cumulative}\n"
+            ));
+            for (q, q_label) in QUANTILES {
+                out.push_str(&format!(
+                    "service_request_duration_us_quantile{{endpoint=\"{label}\",quantile=\"{q_label}\"}} {}\n",
+                    bucket_quantile(&buckets, &LATENCY_BUCKETS_US, q)
+                ));
+            }
         }
         let gauge = |name: &str, value: u64| format!("{name} {value}\n");
         out.push_str(&gauge(
@@ -188,14 +301,33 @@ impl Metrics {
             self.cache_misses.load(Ordering::Relaxed),
         ));
         out.push_str(&gauge("service_result_cache_entries", cache_entries as u64));
-        for (scenario, (cycles, accesses)) in
-            self.scenario_sim.lock().expect("sim metrics lock").iter()
-        {
+        for (scenario, sim) in self.scenario_sim.lock().expect("sim metrics lock").iter() {
             out.push_str(&format!(
-                "service_scenario_sim_cycles_total{{scenario=\"{scenario}\"}} {cycles}\n"
+                "service_scenario_sim_cycles_total{{scenario=\"{scenario}\"}} {}\n",
+                sim.cycles
             ));
             out.push_str(&format!(
-                "service_scenario_sim_accesses_total{{scenario=\"{scenario}\"}} {accesses}\n"
+                "service_scenario_sim_accesses_total{{scenario=\"{scenario}\"}} {}\n",
+                sim.accesses
+            ));
+            let mut cumulative = 0u64;
+            for (slot, &bound) in SIM_CYCLE_BUCKETS.iter().enumerate() {
+                cumulative += sim.cycle_buckets[slot];
+                out.push_str(&format!(
+                    "service_scenario_sim_cycles_bucket{{scenario=\"{scenario}\",le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += sim.cycle_buckets[SIM_SLOTS - 1];
+            out.push_str(&format!(
+                "service_scenario_sim_cycles_bucket{{scenario=\"{scenario}\",le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!(
+                "service_scenario_sim_cycles_sum{{scenario=\"{scenario}\"}} {}\n",
+                sim.cycles
+            ));
+            out.push_str(&format!(
+                "service_scenario_sim_cycles_count{{scenario=\"{scenario}\"}} {}\n",
+                sim.runs
             ));
         }
         out.push_str(&gauge("pool_tasks_queued_total", pool.tasks_queued));
@@ -223,6 +355,131 @@ mod tests {
         assert!(text.contains("service_http_latency_us_total{endpoint=\"jobs_post\"} 150"));
         assert!(text.contains("service_http_requests_total{endpoint=\"metrics\"} 1"));
         assert!(text.contains("service_http_errors_total{endpoint=\"metrics\"} 0"));
+    }
+
+    #[test]
+    fn request_durations_fill_cumulative_buckets_with_quantiles() {
+        let metrics = Metrics::default();
+        // 9 fast requests (≤100µs) and one slow outlier (>100ms).
+        for _ in 0..9 {
+            metrics.record_request(Endpoint::JobsGet, 200, 80);
+        }
+        metrics.record_request(Endpoint::JobsGet, 200, 200_000);
+        let text = metrics.render(0, &PoolStats::default());
+        assert!(
+            text.contains("service_request_duration_us_bucket{endpoint=\"jobs_get\",le=\"100\"} 9"),
+            "{text}"
+        );
+        // Cumulative: the 100ms bound already includes the fast nine.
+        assert!(
+            text.contains(
+                "service_request_duration_us_bucket{endpoint=\"jobs_get\",le=\"100000\"} 9"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "service_request_duration_us_bucket{endpoint=\"jobs_get\",le=\"+Inf\"} 10"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_request_duration_us_sum{endpoint=\"jobs_get\"} 200720"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_request_duration_us_count{endpoint=\"jobs_get\"} 10"),
+            "{text}"
+        );
+        // p50 and p90 land in the first bucket; p99 reaches the outlier's.
+        assert!(
+            text.contains(
+                "service_request_duration_us_quantile{endpoint=\"jobs_get\",quantile=\"0.5\"} 100"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "service_request_duration_us_quantile{endpoint=\"jobs_get\",quantile=\"0.9\"} 100"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "service_request_duration_us_quantile{endpoint=\"jobs_get\",quantile=\"0.99\"} 1000000"
+            ),
+            "{text}"
+        );
+        // Untouched endpoints still render a complete, empty histogram.
+        assert!(
+            text.contains("service_request_duration_us_bucket{endpoint=\"index\",le=\"+Inf\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "service_request_duration_us_quantile{endpoint=\"index\",quantile=\"0.99\"} 0"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn scenario_sim_cycles_bucket_per_executed_run() {
+        let metrics = Metrics::default();
+        metrics.record_scenario_sim("fig6", 5_000, 100);
+        metrics.record_scenario_sim("fig6", 50_000, 900);
+        metrics.record_scenario_sim("fig6", 2_000_000_000, 10);
+        let text = metrics.render(0, &PoolStats::default());
+        assert!(
+            text.contains("service_scenario_sim_cycles_total{scenario=\"fig6\"} 2000055000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_scenario_sim_accesses_total{scenario=\"fig6\"} 1010"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_scenario_sim_cycles_bucket{scenario=\"fig6\",le=\"10000\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_scenario_sim_cycles_bucket{scenario=\"fig6\",le=\"100000\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_scenario_sim_cycles_bucket{scenario=\"fig6\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("service_scenario_sim_cycles_count{scenario=\"fig6\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn bucket_quantile_is_a_conservative_upper_bound() {
+        // All mass in one slot: every quantile reports that slot's bound.
+        let mut counts = vec![0u64; LATENCY_BUCKETS_US.len() + 1];
+        counts[3] = 7;
+        for (q, _) in QUANTILES {
+            assert_eq!(bucket_quantile(&counts, &LATENCY_BUCKETS_US, q), 1_000);
+        }
+        // Mass in the overflow slot clamps to the largest finite bound.
+        let mut overflow = vec![0u64; LATENCY_BUCKETS_US.len() + 1];
+        overflow[LATENCY_BUCKETS_US.len()] = 2;
+        assert_eq!(
+            bucket_quantile(&overflow, &LATENCY_BUCKETS_US, 0.5),
+            1_000_000
+        );
+        // Empty histogram: quantiles are zero, not NaN or panic.
+        assert_eq!(
+            bucket_quantile(
+                &vec![0u64; LATENCY_BUCKETS_US.len() + 1],
+                &LATENCY_BUCKETS_US,
+                0.99
+            ),
+            0
+        );
     }
 
     #[test]

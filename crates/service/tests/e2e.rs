@@ -215,6 +215,37 @@ fn identical_jobs_hit_the_cache_and_return_identical_bytes() {
     );
     assert!(metrics.contains("pool_tasks_queued_total"), "{metrics}");
 
+    // Request latencies render as cumulative fixed-bucket histograms with
+    // derived quantiles: both POSTs are accounted for under +Inf, and the
+    // percentile lines are present for every endpoint.
+    assert!(
+        metrics
+            .contains("service_request_duration_us_bucket{endpoint=\"jobs_post\",le=\"+Inf\"} 2"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("service_request_duration_us_count{endpoint=\"jobs_post\"} 2"),
+        "{metrics}"
+    );
+    for quantile in ["0.5", "0.9", "0.99"] {
+        assert!(
+            metrics.contains(&format!(
+                "service_request_duration_us_quantile{{endpoint=\"jobs_post\",quantile=\"{quantile}\"}}"
+            )),
+            "{metrics}"
+        );
+    }
+    // The executed (non-cached) run contributes one sample to the echo
+    // scenario's sim-cycle histogram.
+    assert!(
+        metrics.contains("service_scenario_sim_cycles_bucket{scenario=\"echo\",le=\"+Inf\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("service_scenario_sim_cycles_count{scenario=\"echo\"} 1"),
+        "{metrics}"
+    );
+
     client::post(addr, "/shutdown", "").unwrap();
     server.join().unwrap().unwrap();
 }

@@ -29,6 +29,9 @@
 //! * [`session`] — compiled [`session::TraceProgram`]s and the reports of
 //!   [`machine::Machine::run_session`], the batched executor the covert
 //!   channel's transmit path compiles onto.
+//! * [`telemetry`] — cycle-domain span/counter tracing: a
+//!   zero-overhead-when-disabled [`telemetry::TraceSink`] recorded by the
+//!   session executor, exported as Chrome trace-event JSON.
 //!
 //! ## Example: measuring a replacement sweep
 //!
@@ -67,6 +70,7 @@ pub mod process;
 pub mod program;
 pub mod sched;
 pub mod session;
+pub mod telemetry;
 pub mod tsc;
 pub mod verify;
 pub mod workload;
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use crate::program::{Action, Actor, Completion, ScriptedActor};
     pub use crate::sched::InterruptConfig;
     pub use crate::session::{Measurement, ProgramReport, SessionReport, TraceProgram, TraceStep};
+    pub use crate::telemetry::{BitDecision, Phase, PhaseCycles, TraceEvent, TraceSink};
     pub use crate::tsc::{TscConfig, TscModel};
     pub use crate::verify::{ProgramDiagnostic, ProgramStats, Severity};
 }

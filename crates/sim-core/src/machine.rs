@@ -20,6 +20,7 @@ use crate::perf::{PerfCounters, PerfStore};
 use crate::program::{Action, Actor, Completion};
 use crate::sched::{InterruptConfig, InterruptModel};
 use crate::session::{Measurement, ProgramReport, SessionReport, TraceProgram, TraceStep};
+use crate::telemetry::{Phase, PhaseCycles, TraceEvent, TraceSink};
 use crate::tsc::{TscConfig, TscModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,6 +104,11 @@ pub struct Machine {
     rng: StdRng,
     now: u64,
     perf: PerfStore,
+    /// Telemetry sink (disabled by default). The sink only *observes*
+    /// sim-cycle timestamps already computed by the executors — it never
+    /// touches the RNG, the TSC or the scheduler, so an enabled sink
+    /// records exactly the run a disabled sink would have produced.
+    sink: TraceSink,
 }
 
 impl Machine {
@@ -118,6 +124,7 @@ impl Machine {
             rng: StdRng::seed_from_u64(config.seed ^ 0x6d61_6368),
             now: 0,
             perf: PerfStore::new(),
+            sink: TraceSink::disabled(),
             config,
         })
     }
@@ -191,6 +198,29 @@ impl Machine {
     pub fn reset_counters(&mut self) {
         self.perf.reset();
         self.hierarchy.reset_stats();
+    }
+
+    /// Enables telemetry recording (replaces the sink with an active one).
+    /// The sink survives [`Machine::reset`]: a session reusing one machine
+    /// across frames enables tracing once and drains events per frame with
+    /// [`Machine::take_trace`].
+    pub fn enable_tracing(&mut self) {
+        self.sink = TraceSink::active();
+    }
+
+    /// Whether the telemetry sink is recording.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_enabled()
+    }
+
+    /// The telemetry events recorded so far, in recording order.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.sink.events()
+    }
+
+    /// Drains the recorded telemetry events (the sink stays enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.sink.take()
     }
 
     /// Advances the clock without doing anything (models pure compute).
@@ -315,6 +345,14 @@ impl Machine {
             .collect();
         let deadline = self.now + limit;
         let mut hit_limit = false;
+        if self.sink.is_enabled() {
+            // The stepped executor traces at actor granularity: one span per
+            // hardware thread for the lifetime of its script.
+            for actor in actors.iter() {
+                self.sink
+                    .begin(actor.domain(), actor.name(), Phase::Other, self.now);
+            }
+        }
 
         loop {
             // Pick the runnable thread with the earliest ready time.
@@ -351,6 +389,7 @@ impl Machine {
 
             if matches!(action, Action::Done) {
                 threads[idx].done = true;
+                self.sink.end(domain, actors[idx].name(), self.now);
                 continue;
             }
             let completion = self.execute_action(domain, action, started);
@@ -367,6 +406,20 @@ impl Machine {
             .unwrap_or(self.now)
             .min(deadline);
         self.now = self.now.max(end);
+        if self.sink.is_enabled() {
+            // Close the spans of actors the deadline cut off, and sample
+            // each actor's turn/stall counters at the end clock.
+            for (idx, thread) in threads.iter().enumerate() {
+                let domain = actors[idx].domain();
+                if !thread.done {
+                    self.sink.end(domain, actors[idx].name(), self.now);
+                }
+                self.sink
+                    .counter(domain, "actions", thread.actions, self.now);
+                self.sink
+                    .counter(domain, "stalled_cycles", thread.stalled, self.now);
+            }
+        }
 
         RunSummary {
             finished_at: self.now,
@@ -477,6 +530,8 @@ impl Machine {
             op_cursor: usize,
             /// The program's anchor register (`Tlast` of Algorithm 3).
             anchor: u64,
+            /// The open telemetry phase span (compiled programs only).
+            span: Option<Phase>,
         }
 
         let total = programs.len() + extras.len();
@@ -490,6 +545,7 @@ impl Machine {
                 step: 0,
                 op_cursor: 0,
                 anchor: self.now,
+                span: None,
             })
             .collect();
         let mut reports: Vec<ProgramReport> = programs
@@ -502,10 +558,19 @@ impl Machine {
                 actions: 0,
                 stalled_cycles: 0,
                 finished: false,
+                phase_cycles: PhaseCycles::default(),
             })
             .collect();
         let deadline = self.now + limit;
         let mut hit_limit = false;
+        if self.sink.is_enabled() {
+            // Dynamic actors trace at actor granularity, like Machine::run;
+            // compiled programs get phase spans from their step annotations.
+            for actor in extras.iter() {
+                self.sink
+                    .begin(actor.domain(), actor.name(), Phase::Other, self.now);
+            }
+        }
 
         loop {
             // Pick the runnable thread with the earliest ready time (the
@@ -545,6 +610,7 @@ impl Machine {
                 let started = self.now;
                 if matches!(action, Action::Done) {
                     threads[idx].done = true;
+                    self.sink.end(domain, actor.name(), self.now);
                     continue;
                 }
                 let completion = self.execute_action(domain, action, started);
@@ -582,8 +648,12 @@ impl Machine {
                     thread.actions += 1;
                     thread.done = true;
                     reports[idx].finished = true;
+                    if let Some(prev) = thread.span.take() {
+                        self.sink.end(program.domain(), prev.label(), self.now);
+                    }
                     break;
                 };
+                let step_index = thread.step;
                 let started = self.now;
                 let mut measured = None;
                 let latency = match step {
@@ -637,6 +707,19 @@ impl Machine {
                 };
                 let thread = &mut threads[idx];
                 let finished_at = started + latency.max(1);
+                // Per-phase cycle attribution from the compiler's step
+                // annotations — sim-cycle arithmetic, always on, identical
+                // whether or not the sink records.
+                let phase = program.step_phase(step_index);
+                reports[idx].phase_cycles.add(phase, finished_at - started);
+                if self.sink.is_enabled() && thread.span != Some(phase) {
+                    if let Some(prev) = thread.span.take() {
+                        self.sink.end(program.domain(), prev.label(), started);
+                    }
+                    self.sink
+                        .begin(program.domain(), phase.label(), phase, started);
+                    thread.span = Some(phase);
+                }
                 thread.ready_at = finished_at;
                 thread.actions += 1;
                 if let Some(measured) = measured {
@@ -680,6 +763,27 @@ impl Machine {
         for (thread, report) in threads.iter().zip(reports.iter_mut()) {
             report.actions = thread.actions;
             report.stalled_cycles = thread.stalled;
+        }
+        if self.sink.is_enabled() {
+            // Close the spans the deadline cut off (program phase spans and
+            // unfinished dynamic actors), then sample per-thread counters.
+            for (idx, thread) in threads.iter_mut().enumerate() {
+                let (domain, name) = if idx < programs.len() {
+                    (programs[idx].domain(), programs[idx].name())
+                } else {
+                    let actor = &extras[idx - programs.len()];
+                    (actor.domain(), actor.name())
+                };
+                if let Some(prev) = thread.span.take() {
+                    self.sink.end(domain, prev.label(), self.now);
+                } else if idx >= programs.len() && !thread.done {
+                    self.sink.end(domain, name, self.now);
+                }
+                self.sink
+                    .counter(domain, "actions", thread.actions, self.now);
+                self.sink
+                    .counter(domain, "stalled_cycles", thread.stalled, self.now);
+            }
         }
 
         SessionReport {
@@ -1011,6 +1115,66 @@ mod tests {
         // store's issue time.
         assert_eq!(report.finished_at, 20_000);
         assert_eq!(report.programs[0].summary.writes, 2);
+    }
+
+    #[test]
+    fn tracing_neither_perturbs_the_session_nor_breaks_span_nesting() {
+        use crate::telemetry::export;
+
+        let config = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, 13);
+        let chase: Vec<PhysAddr> = (0..8).map(|i| PhysAddr(0x4000 + i * 64)).collect();
+        let build = || {
+            let mut program = TraceProgram::new("receiver", 1);
+            program
+                .phase(Phase::Prime)
+                .load(PhysAddr(0x4000))
+                .store(PhysAddr(0x4040))
+                .phase(Phase::Wait)
+                .wait_until(2_000)
+                .phase(Phase::Decode)
+                .anchor()
+                .chase(&chase)
+                .phase(Phase::Wait)
+                .wait_anchor(1_500);
+            program
+        };
+
+        let mut plain = Machine::new(config).unwrap();
+        let silent = plain.run_session(std::slice::from_ref(&build()), &mut [], 100_000);
+        assert!(plain.take_trace().is_empty(), "null sink records nothing");
+
+        let mut traced = Machine::new(config).unwrap();
+        traced.enable_tracing();
+        let observed = traced.run_session(std::slice::from_ref(&build()), &mut [], 100_000);
+
+        // Bit-identical results: the sink only observes.
+        assert_eq!(observed, silent);
+        assert_eq!(traced.now(), plain.now());
+        assert_eq!(traced.perf(1), plain.perf(1));
+
+        // The recorded spans nest, run monotone and name every phase the
+        // program declared.
+        let events = traced.take_trace();
+        assert!(!events.is_empty());
+        export::validate(&events).unwrap();
+        for label in ["prime", "wait", "decode"] {
+            assert!(
+                events.iter().any(|e| matches!(
+                    &e.kind,
+                    crate::telemetry::EventKind::Begin { name, .. } if name == label
+                )),
+                "missing span {label}"
+            );
+        }
+
+        // Phase attribution covers every executed cycle of the program and
+        // is identical with the sink on or off.
+        let profile = observed.programs[0].phase_cycles;
+        assert_eq!(profile, silent.programs[0].phase_cycles);
+        assert!(profile.get(Phase::Prime) > 0);
+        assert!(profile.get(Phase::Wait) > 0);
+        assert!(profile.get(Phase::Decode) > 0);
+        assert_eq!(profile.get(Phase::Other), 0);
     }
 
     #[test]

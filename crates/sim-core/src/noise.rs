@@ -75,6 +75,7 @@ impl NoisyNeighbor {
     /// the actor would draw them touch by touch.
     pub fn compile(&self, limit: u64) -> TraceProgram {
         let mut program = TraceProgram::new(self.name.clone(), self.domain);
+        program.phase(crate::telemetry::Phase::Noise);
         let mut rng = StdRng::seed_from_u64(self.seed);
         let iterations = limit / self.interval + 4;
         for k in 0..iterations {

@@ -30,6 +30,7 @@
 //! * **relative** — [`TraceStep::WaitRel`] waits `offset` cycles from the
 //!   step's own issue time (a noise process's touch interval).
 
+use crate::telemetry::{Phase, PhaseCycles};
 use sim_cache::addr::PhysAddr;
 use sim_cache::line::DomainId;
 use sim_cache::trace::{TraceOp, TraceSummary};
@@ -99,6 +100,12 @@ pub struct TraceProgram {
     ops: Vec<TraceOp>,
     chase_addrs: Vec<PhysAddr>,
     steps: Vec<TraceStep>,
+    /// Telemetry phase of each step, parallel to `steps` — the compiler's
+    /// span annotations, consulted by the session executor when a trace
+    /// sink is recording and by `repro check --verbose` for coverage.
+    phases: Vec<Phase>,
+    /// The phase subsequently appended steps are attributed to.
+    current_phase: Phase,
 }
 
 impl TraceProgram {
@@ -110,6 +117,8 @@ impl TraceProgram {
             ops: Vec::new(),
             chase_addrs: Vec::new(),
             steps: Vec::new(),
+            phases: Vec::new(),
+            current_phase: Phase::Other,
         }
     }
 
@@ -126,6 +135,20 @@ impl TraceProgram {
     /// The compiled steps.
     pub fn steps(&self) -> &[TraceStep] {
         &self.steps
+    }
+
+    /// The telemetry phase of step `index` ([`Phase::Other`] out of range).
+    pub fn step_phase(&self, index: usize) -> Phase {
+        self.phases.get(index).copied().unwrap_or(Phase::Other)
+    }
+
+    /// Span-coverage profile: `(attributed, total)` step counts, where a
+    /// step is *attributed* when the compiler tagged it with a phase other
+    /// than [`Phase::Other`]. Anything unattributed is a protocol phase the
+    /// telemetry layer cannot see — `repro check --verbose` warns on it.
+    pub fn phase_coverage(&self) -> (usize, usize) {
+        let attributed = self.phases.iter().filter(|&&p| p != Phase::Other).count();
+        (attributed, self.steps.len())
     }
 
     /// The op arena.
@@ -153,13 +176,26 @@ impl TraceProgram {
         turns + 1 // the Done turn
     }
 
+    /// Sets the telemetry phase subsequently appended steps are attributed
+    /// to (sticky until the next call).
+    pub fn phase(&mut self, phase: Phase) -> &mut Self {
+        self.current_phase = phase;
+        self
+    }
+
+    /// Appends one step, tagging it with the current telemetry phase.
+    fn push_step(&mut self, step: TraceStep) {
+        self.steps.push(step);
+        self.phases.push(self.current_phase);
+    }
+
     /// Appends a batch of ops (one scheduling turn each).
     pub fn ops<I: IntoIterator<Item = TraceOp>>(&mut self, ops: I) -> &mut Self {
         let start = self.ops.len();
         self.ops.extend(ops);
         let end = self.ops.len();
         if end > start {
-            self.steps.push(TraceStep::Ops { start, end });
+            self.push_step(TraceStep::Ops { start, end });
         }
         self
     }
@@ -178,7 +214,7 @@ impl TraceProgram {
     pub fn chase(&mut self, addrs: &[PhysAddr]) -> &mut Self {
         let start = self.chase_addrs.len();
         self.chase_addrs.extend_from_slice(addrs);
-        self.steps.push(TraceStep::Chase {
+        self.push_step(TraceStep::Chase {
             start,
             end: self.chase_addrs.len(),
         });
@@ -187,38 +223,38 @@ impl TraceProgram {
 
     /// Appends an absolute wait.
     pub fn wait_until(&mut self, target: u64) -> &mut Self {
-        self.steps.push(TraceStep::WaitUntil { target });
+        self.push_step(TraceStep::WaitUntil { target });
         self
     }
 
     /// Appends the rendezvous-epoch wait (absolute wait that also anchors).
     pub fn wait_epoch(&mut self, target: u64) -> &mut Self {
-        self.steps.push(TraceStep::WaitEpoch { target });
+        self.push_step(TraceStep::WaitEpoch { target });
         self
     }
 
     /// Appends a wait until `anchor + offset`.
     pub fn wait_anchor(&mut self, offset: u64) -> &mut Self {
-        self.steps.push(TraceStep::WaitAnchor { offset });
+        self.push_step(TraceStep::WaitAnchor { offset });
         self
     }
 
     /// Appends the anchored floor wait (`anchor := max(now, floor)`, wait
     /// until `anchor + offset`).
     pub fn wait_floor(&mut self, floor: u64, offset: u64) -> &mut Self {
-        self.steps.push(TraceStep::WaitFloor { floor, offset });
+        self.push_step(TraceStep::WaitFloor { floor, offset });
         self
     }
 
     /// Appends a wait of `offset` cycles relative to its own issue time.
     pub fn wait_rel(&mut self, offset: u64) -> &mut Self {
-        self.steps.push(TraceStep::WaitRel { offset });
+        self.push_step(TraceStep::WaitRel { offset });
         self
     }
 
     /// Appends an anchor marker (no scheduling turn).
     pub fn anchor(&mut self) -> &mut Self {
-        self.steps.push(TraceStep::Anchor);
+        self.push_step(TraceStep::Anchor);
         self
     }
 
@@ -227,7 +263,7 @@ impl TraceProgram {
     /// ill-formed programs the safe builder cannot express.
     #[cfg(test)]
     pub(crate) fn push_raw_step(&mut self, step: TraceStep) -> &mut Self {
-        self.steps.push(step);
+        self.push_step(step);
         self
     }
 }
@@ -259,6 +295,10 @@ pub struct ProgramReport {
     pub stalled_cycles: u64,
     /// Whether the program ran to completion before the deadline.
     pub finished: bool,
+    /// Simulated cycles attributed to each telemetry phase, from the
+    /// program's step annotations. Pure sim-cycle arithmetic: identical
+    /// whether or not a trace sink was recording.
+    pub phase_cycles: PhaseCycles,
 }
 
 impl ProgramReport {
@@ -282,6 +322,17 @@ pub struct SessionReport {
     pub actor_actions: Vec<u64>,
     /// Cycles each dynamic actor spent stalled by OS interruptions.
     pub actor_stalled: Vec<u64>,
+}
+
+impl SessionReport {
+    /// Per-phase cycle attribution summed over every program.
+    pub fn phase_cycles(&self) -> PhaseCycles {
+        let mut total = PhaseCycles::default();
+        for program in &self.programs {
+            total.merge(&program.phase_cycles);
+        }
+        total
+    }
 }
 
 impl SessionReport {
@@ -328,6 +379,30 @@ mod tests {
     }
 
     #[test]
+    fn phase_annotations_are_sticky_and_cover_steps() {
+        let mut program = TraceProgram::new("p", 1);
+        program
+            .phase(Phase::Prime)
+            .load(PhysAddr(0x40))
+            .phase(Phase::Wait)
+            .wait_rel(100)
+            .phase(Phase::Decode)
+            .anchor()
+            .chase(&[PhysAddr(0x80)]);
+        assert_eq!(program.step_phase(0), Phase::Prime);
+        assert_eq!(program.step_phase(1), Phase::Wait);
+        assert_eq!(program.step_phase(2), Phase::Decode);
+        assert_eq!(program.step_phase(3), Phase::Decode);
+        assert_eq!(program.step_phase(99), Phase::Other, "out of range");
+        assert_eq!(program.phase_coverage(), (4, 4));
+
+        // A builder that never sets a phase reports zero coverage.
+        let mut bare = TraceProgram::new("bare", 1);
+        bare.load(PhysAddr(0x40)).wait_rel(10);
+        assert_eq!(bare.phase_coverage(), (0, 2));
+    }
+
+    #[test]
     fn empty_ops_batch_adds_no_step() {
         let mut program = TraceProgram::new("p", 1);
         program.ops(std::iter::empty());
@@ -359,6 +434,7 @@ mod tests {
                     actions: 4,
                     stalled_cycles: 0,
                     finished: true,
+                    phase_cycles: PhaseCycles::default(),
                 },
                 ProgramReport {
                     name: "receiver".into(),
@@ -371,6 +447,7 @@ mod tests {
                     actions: 3,
                     stalled_cycles: 0,
                     finished: true,
+                    phase_cycles: PhaseCycles::default(),
                 },
             ],
             actor_actions: vec![],
