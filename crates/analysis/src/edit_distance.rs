@@ -70,30 +70,46 @@ impl ErrorBreakdown {
 /// This is `O(|sent| * |received|)` in memory and therefore intended for
 /// frame-sized sequences (hundreds of bits), not whole traces.
 pub fn error_breakdown(sent: &[bool], received: &[bool]) -> ErrorBreakdown {
+    scored_breakdown(sent, received).1
+}
+
+/// Computes the Wagner–Fischer distance *and* its per-error-type breakdown
+/// from one dynamic-programming matrix: the matrix's corner cell is the
+/// distance, and the backtrack classifies the optimal alignment's edits.
+///
+/// The matrix is a single flat allocation. Equivalent to calling
+/// [`edit_distance`] and [`error_breakdown`] separately (the alignment
+/// scorer's former hot path, which filled the matrix twice per frame).
+pub fn scored_breakdown(sent: &[bool], received: &[bool]) -> (usize, ErrorBreakdown) {
     let n = sent.len();
     let m = received.len();
-    let mut dp = vec![vec![0usize; m + 1]; n + 1];
-    for (i, row) in dp.iter_mut().enumerate() {
-        row[0] = i;
+    let width = m + 1;
+    let mut dp = vec![0usize; (n + 1) * width];
+    for i in 0..=n {
+        dp[i * width] = i;
     }
-    for (j, cell) in dp[0].iter_mut().enumerate() {
+    for (j, cell) in dp[..width].iter_mut().enumerate() {
         *cell = j;
     }
     for i in 1..=n {
+        let sent_bit = sent[i - 1];
+        let (above, row) = dp.split_at_mut(i * width);
+        let above = &above[(i - 1) * width..];
         for j in 1..=m {
-            let substitution = usize::from(sent[i - 1] != received[j - 1]);
-            dp[i][j] = (dp[i - 1][j - 1] + substitution)
-                .min(dp[i - 1][j] + 1)
-                .min(dp[i][j - 1] + 1);
+            let substitution = usize::from(sent_bit != received[j - 1]);
+            row[j] = (above[j - 1] + substitution)
+                .min(above[j] + 1)
+                .min(row[j - 1] + 1);
         }
     }
-    // Backtrack.
+    // Backtrack, preferring diagonal moves, then deletions, then insertions —
+    // the tie-break order that defines the canonical breakdown.
     let mut breakdown = ErrorBreakdown::default();
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
         if i > 0 && j > 0 {
             let substitution = usize::from(sent[i - 1] != received[j - 1]);
-            if dp[i][j] == dp[i - 1][j - 1] + substitution {
+            if dp[i * width + j] == dp[(i - 1) * width + j - 1] + substitution {
                 if substitution == 1 {
                     breakdown.flips += 1;
                 }
@@ -102,7 +118,7 @@ pub fn error_breakdown(sent: &[bool], received: &[bool]) -> ErrorBreakdown {
                 continue;
             }
         }
-        if i > 0 && dp[i][j] == dp[i - 1][j] + 1 {
+        if i > 0 && dp[i * width + j] == dp[(i - 1) * width + j] + 1 {
             // A sent bit that never arrived.
             breakdown.losses += 1;
             i -= 1;
@@ -112,7 +128,7 @@ pub fn error_breakdown(sent: &[bool], received: &[bool]) -> ErrorBreakdown {
             j -= 1;
         }
     }
-    breakdown
+    (dp[n * width + m], breakdown)
 }
 
 /// Converts a byte slice into its bit sequence (MSB first), the format used
@@ -209,6 +225,24 @@ mod tests {
         );
         // Partial byte padding.
         assert_eq!(bits_to_bytes(&[true, true]), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn fused_scoring_matches_the_separate_passes() {
+        // Deterministic pseudo-random bit pairs covering flips, insertions
+        // and losses at assorted lengths (including empty sides).
+        for seed in 0u64..24 {
+            let n = (seed * 7 % 33) as usize;
+            let m = (seed * 11 % 29) as usize;
+            let sent: Vec<bool> = (0..n)
+                .map(|i| (seed + i as u64) * 2_654_435_761 % 5 < 2)
+                .collect();
+            let received: Vec<bool> = (0..m).map(|i| (seed + i as u64) * 40_503 % 7 < 3).collect();
+            let (distance, breakdown) = scored_breakdown(&sent, &received);
+            assert_eq!(distance, edit_distance(&sent, &received), "seed {seed}");
+            assert_eq!(breakdown, error_breakdown(&sent, &received), "seed {seed}");
+            assert_eq!(breakdown.total(), distance, "seed {seed}");
+        }
     }
 
     #[test]

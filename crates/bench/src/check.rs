@@ -46,6 +46,10 @@ pub struct ScenarioCheck {
     /// the default-hierarchy compile of every config — the `--verbose`
     /// regression-tracking numbers, independent of the preset sweep.
     pub stats: ProgramStats,
+    /// Seed-varied lane groups whose compiled frames passed the
+    /// `lane-shape` compatibility rule — the static form of the guarantee
+    /// `repro run --lanes` relies on (the `--verbose` lane numbers).
+    pub lane_groups: usize,
     /// Compiled steps carrying a telemetry phase annotation, over the
     /// default-hierarchy compiles (the `--verbose` span-coverage numbers).
     pub attributed_steps: usize,
@@ -206,10 +210,31 @@ fn check_scenario(id: &'static str) -> Result<ScenarioCheck, String> {
         variants: 0,
         programs: 0,
         stats: ProgramStats::default(),
+        lane_groups: 0,
         attributed_steps: 0,
         total_steps: 0,
         findings: Vec::new(),
     };
+    // Lane-shape gate: a sweep scenario's lane batches group points that
+    // differ only in their derived seed, so for every representative config
+    // the seed-varied group must compile to lane-compatible programs (the
+    // `lane-shape` rule of `sim_core::verify`). Checked on the default
+    // machine, where the lane executor runs.
+    for (config_label, base) in &configs {
+        let group: Vec<_> = (0..4)
+            .map(|offset| {
+                let mut config = base.clone();
+                config.seed = SEED.wrapping_add(offset);
+                config
+            })
+            .collect();
+        check.lane_groups += 1;
+        for diagnostic in wb_channel::lanes::lane_compatible(&group, &payload) {
+            check
+                .findings
+                .push(format!("{id} [{config_label} / lane-group]: {diagnostic}"));
+        }
+    }
     for (config_label, base) in &configs {
         for (variant_label, preset) in &variants {
             let mut config = base.clone();
@@ -288,6 +313,7 @@ mod tests {
         // Every scenario compiled at least sender + receiver on ≥ 5
         // hierarchy variants.
         for check in &report.scenarios {
+            assert!(check.lane_groups >= 1, "{}", check.id);
             assert!(
                 check.variants >= 5,
                 "{}: {} variants",

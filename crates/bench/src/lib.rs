@@ -19,6 +19,7 @@
 //! let config = RunConfig {
 //!     scale: Scale::Quick,
 //!     threads: 2,
+//!     lanes: 1,
 //!     root_seed: bench::SEED,
 //!     progress: false,
 //! };

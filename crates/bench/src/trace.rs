@@ -67,14 +67,17 @@ fn event_row(event: &TraceEvent) -> Vec<String> {
     let (kind, name, phase, detail) = match &event.kind {
         EventKind::Begin { name, phase } => (
             "begin",
-            name.clone(),
+            name.to_string(),
             phase.label().to_owned(),
             String::new(),
         ),
-        EventKind::End { name } => ("end", name.clone(), String::new(), String::new()),
-        EventKind::Counter { name, value } => {
-            ("counter", name.clone(), String::new(), value.to_string())
-        }
+        EventKind::End { name } => ("end", name.to_string(), String::new(), String::new()),
+        EventKind::Counter { name, value } => (
+            "counter",
+            name.to_string(),
+            String::new(),
+            value.to_string(),
+        ),
         EventKind::Bit(bit) => (
             "bit",
             format!("frame{}[{}]", bit.frame, bit.index),

@@ -10,7 +10,7 @@
 
 use crate::encoding::SymbolEncoding;
 use crate::error::Error;
-use analysis::edit_distance::{edit_distance, error_breakdown, ErrorBreakdown};
+use analysis::edit_distance::{scored_breakdown, ErrorBreakdown};
 use analysis::threshold::{BinaryThreshold, MultiLevelThreshold};
 use rand::Rng;
 
@@ -217,8 +217,9 @@ pub fn align_and_score(sent: &[bool], decoded: &[bool], max_shift: usize) -> Ali
     }
     let end = (best_offset + sent.len()).min(decoded.len());
     let aligned: Vec<bool> = decoded[best_offset..end].to_vec();
-    let distance = edit_distance(sent, &aligned);
-    let breakdown = error_breakdown(sent, &aligned);
+    // One fused DP pass scores the window: the breakdown's matrix corner is
+    // the edit distance, so the former second pass was pure rework.
+    let (distance, breakdown) = scored_breakdown(sent, &aligned);
     AlignmentResult {
         offset: best_offset,
         bit_error_rate: if sent.is_empty() {

@@ -154,6 +154,7 @@ mod tests {
             seeding: Seeding::Derived,
             points: one,
             run_point: run,
+            run_batch: None,
             assemble,
         }
     }

@@ -87,6 +87,7 @@ fn scenario(
         seeding: Seeding::Derived,
         points,
         run_point,
+        run_batch: None,
         assemble,
     }
 }

@@ -1,0 +1,270 @@
+//! Lane-parallel session execution: N independent machines stepped in
+//! lockstep.
+//!
+//! Every point of a registry sweep is an independent `(seed, config)` run on
+//! its own [`Machine`] — the embarrassingly-parallel structure of large
+//! covert-channel parameter grids.  [`LaneMachine`] batches such points into
+//! *lanes*: it owns one machine per lane (structure-of-arrays across
+//! machines — each lane keeps its own tag/owner/mask arrays in the cache
+//! hierarchy and its own RNG/TSC/perf state) and drives all live lanes
+//! through one compiled-session scheduling turn per round, so the executor's
+//! decode/dispatch loop is shared across the batch instead of re-entered
+//! once per point.
+//!
+//! ## Batching rules
+//!
+//! Lanes must agree on *shape* — the same number of programs with the same
+//! step-kind sequence per program (seeds, addresses and machine configs are
+//! free to differ).  [`crate::verify::lane_compatibility`] is the static
+//! check for this; shape-compatible lanes keep their per-step dispatch in
+//! sync, which is what makes the lockstep loop profitable.  Shape divergence
+//! at *runtime* (a lane's chase finishing earlier, an interrupt stalling one
+//! lane) is handled by per-lane progress masks: a lane whose session
+//! completes goes dead and idles while the remaining lanes finish the batch.
+//!
+//! ## Equivalence contract
+//!
+//! Lanes share **nothing** — no cache state, no RNG, no clock — so any
+//! interleaving that preserves each lane's own turn order is observationally
+//! identical to running the lanes one after another.  Concretely:
+//!
+//! * `lanes = 1` reproduces [`Machine::run_session`] byte-for-byte (it is
+//!   the same `Machine::session_turn` loop), and
+//! * `lanes = k` equals `k` serial `run_session` calls on the per-lane
+//!   machines, including [`crate::session::SessionReport`]s, perf counters,
+//!   phase cycles and telemetry timelines.
+//!
+//! The property tests in `tests/lane_equivalence.rs` pin this contract
+//! across hierarchy presets, policies, seeds and lane counts.
+
+use crate::machine::{Machine, MachineConfig, SessionCursor};
+use crate::session::{SessionReport, TraceProgram};
+
+/// One lane's work item: the compiled programs it runs and its cycle budget.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneSession<'a> {
+    /// The compiled per-party programs of this lane, in execution order.
+    pub programs: &'a [TraceProgram],
+    /// The cycle budget of this lane's session.
+    pub limit: u64,
+}
+
+/// A bank of independent machines stepped in lockstep over compiled
+/// sessions — the lane-parallel counterpart of [`Machine::run_session`].
+#[derive(Debug)]
+pub struct LaneMachine {
+    lanes: Vec<Machine>,
+}
+
+impl LaneMachine {
+    /// Builds one machine per configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-configuration errors.
+    pub fn new(configs: &[MachineConfig]) -> Result<LaneMachine, sim_cache::Error> {
+        let lanes = configs
+            .iter()
+            .map(|&config| Machine::new(config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LaneMachine { lanes })
+    }
+
+    /// Number of lanes in the bank.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The machine of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lane_count()`.
+    pub fn lane(&self, lane: usize) -> &Machine {
+        &self.lanes[lane]
+    }
+
+    /// Exclusive access to the machine of `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lane_count()`.
+    pub fn lane_mut(&mut self, lane: usize) -> &mut Machine {
+        &mut self.lanes[lane]
+    }
+
+    /// Resets every lane to the state [`Machine::new`] would produce for its
+    /// configuration, reusing the cache arenas ([`Machine::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs.len() != lane_count()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-configuration errors.
+    pub fn reset(&mut self, configs: &[MachineConfig]) -> Result<(), sim_cache::Error> {
+        assert_eq!(
+            configs.len(),
+            self.lanes.len(),
+            "one configuration per lane"
+        );
+        for (lane, &config) in self.lanes.iter_mut().zip(configs.iter()) {
+            lane.reset(config)?;
+        }
+        Ok(())
+    }
+
+    /// Runs one compiled session per lane, stepping all live lanes in
+    /// lockstep: each round issues exactly one scheduling turn
+    /// (`Machine::session_turn`) to every lane whose session is still
+    /// running, so the turn dispatch is amortised across the batch.  Lanes
+    /// that finish early (shape divergence, deadlines, interrupt stalls) are
+    /// masked out and idle until the batch completes.
+    ///
+    /// Returns one [`SessionReport`] per lane, in lane order — bit-identical
+    /// to calling [`Machine::run_session`] on each lane's machine serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.len() != lane_count()`.
+    pub fn run_sessions(&mut self, batch: &[LaneSession<'_>]) -> Vec<SessionReport> {
+        assert_eq!(batch.len(), self.lanes.len(), "one session per lane");
+        let mut cursors: Vec<SessionCursor> = self
+            .lanes
+            .iter_mut()
+            .zip(batch.iter())
+            .map(|(lane, session)| lane.session_start(session.programs, &mut [], session.limit))
+            .collect();
+        // The live mask: lanes drop out as their sessions end and the rest
+        // keep stepping.
+        let mut live: Vec<bool> = cursors.iter().map(|c| !c.all_done()).collect();
+        let mut remaining = live.iter().filter(|&&l| l).count();
+        // Each visit grants a lane a multi-turn quantum. Lanes share no
+        // state, so any interleaving preserving each lane's own turn order
+        // is bit-identical (equivalence contract above); the quantum keeps
+        // a lane's machine hot in the host cache instead of thrashing it on
+        // every turn, while still bounding how far any lane runs ahead.
+        const TURN_QUANTUM: u32 = 64;
+        while remaining > 0 {
+            for (lane, alive) in live.iter_mut().enumerate() {
+                if !*alive {
+                    continue;
+                }
+                for _ in 0..TURN_QUANTUM {
+                    if !self.lanes[lane].session_turn(
+                        batch[lane].programs,
+                        &mut [],
+                        &mut cursors[lane],
+                    ) {
+                        *alive = false;
+                        remaining -= 1;
+                        break;
+                    }
+                }
+            }
+        }
+        self.lanes
+            .iter_mut()
+            .zip(batch.iter().zip(cursors))
+            .map(|(lane, (session, cursor))| lane.session_finish(session.programs, &mut [], cursor))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cache::addr::PhysAddr;
+    use sim_cache::policy::PolicyKind;
+
+    fn chase_program(seed: u64) -> TraceProgram {
+        let chase: Vec<PhysAddr> = (0..8)
+            .map(|i| PhysAddr(0x4000 + (seed % 7) * 0x1000 + i * 64))
+            .collect();
+        let mut program = TraceProgram::new("p", 1);
+        program
+            .load(PhysAddr(0x4000))
+            .store(PhysAddr(0x4040))
+            .wait_until(2_000)
+            .anchor()
+            .chase(&chase)
+            .wait_anchor(1_500);
+        program
+    }
+
+    #[test]
+    fn lanes_equal_serial_runs() {
+        let configs: Vec<MachineConfig> = (0..4)
+            .map(|seed| MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, seed))
+            .collect();
+        let programs: Vec<Vec<TraceProgram>> = (0..4).map(|s| vec![chase_program(s)]).collect();
+
+        let mut bank = LaneMachine::new(&configs).unwrap();
+        let batch: Vec<LaneSession<'_>> = programs
+            .iter()
+            .map(|p| LaneSession {
+                programs: p,
+                limit: 100_000,
+            })
+            .collect();
+        let reports = bank.run_sessions(&batch);
+
+        for (lane, config) in configs.iter().enumerate() {
+            let mut serial = Machine::new(*config).unwrap();
+            let expected = serial.run_session(&programs[lane], &mut [], 100_000);
+            assert_eq!(reports[lane], expected, "lane {lane}");
+            assert_eq!(bank.lane(lane).now(), serial.now(), "lane {lane}");
+            assert_eq!(bank.lane(lane).perf(1), serial.perf(1), "lane {lane}");
+            assert_eq!(
+                bank.lane(lane).hierarchy().stats(),
+                serial.hierarchy().stats(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_lane_reproduces_run_session() {
+        let config = MachineConfig::xeon_e5_2650(PolicyKind::IntelLike, 42);
+        let programs = vec![chase_program(42)];
+        let mut bank = LaneMachine::new(std::slice::from_ref(&config)).unwrap();
+        let reports = bank.run_sessions(&[LaneSession {
+            programs: &programs,
+            limit: 100_000,
+        }]);
+        let mut machine = Machine::new(config).unwrap();
+        let expected = machine.run_session(&programs, &mut [], 100_000);
+        assert_eq!(reports, vec![expected]);
+    }
+
+    #[test]
+    fn reset_recycles_lanes_like_fresh_machines() {
+        let configs: Vec<MachineConfig> = (10..12)
+            .map(|seed| MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, seed))
+            .collect();
+        let programs: Vec<Vec<TraceProgram>> = (10..12).map(|s| vec![chase_program(s)]).collect();
+        let mut bank = LaneMachine::new(&configs).unwrap();
+        fn make_batch(programs: &[Vec<TraceProgram>]) -> Vec<LaneSession<'_>> {
+            programs
+                .iter()
+                .map(|p| LaneSession {
+                    programs: p,
+                    limit: 100_000,
+                })
+                .collect()
+        }
+        let first = bank.run_sessions(&make_batch(&programs));
+        bank.reset(&configs).unwrap();
+        let second = bank.run_sessions(&make_batch(&programs));
+        assert_eq!(first, second, "reset lanes must replay identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "one session per lane")]
+    fn mismatched_batch_width_panics() {
+        let config = MachineConfig::xeon_e5_2650(PolicyKind::TreePlru, 1);
+        let mut bank = LaneMachine::new(std::slice::from_ref(&config)).unwrap();
+        let _ = bank.run_sessions(&[]);
+    }
+}

@@ -95,6 +95,46 @@ pub struct RunSummary {
     pub hit_limit: bool,
 }
 
+/// Per-thread scheduling state of an in-flight session run (one compiled
+/// program or dynamic actor).
+#[derive(Debug)]
+struct SessionThread {
+    ready_at: u64,
+    done: bool,
+    interrupts: InterruptModel,
+    actions: u64,
+    stalled: u64,
+    /// Compiled-program cursor: next step index.
+    step: usize,
+    /// Offset within the current `Ops` step.
+    op_cursor: usize,
+    /// The program's anchor register (`Tlast` of Algorithm 3).
+    anchor: u64,
+    /// The open telemetry phase span (compiled programs only).
+    span: Option<Phase>,
+}
+
+/// Resumable state of one in-flight [`Machine::run_session`]: everything the
+/// executor's outer loop carries between scheduling turns.  Extracted so the
+/// lane executor ([`crate::lanes::LaneMachine`]) can interleave single turns
+/// of many independent machines while `run_session` stays a plain loop over
+/// the same [`Machine::session_start`] / [`Machine::session_turn`] /
+/// [`Machine::session_finish`] calls.
+#[derive(Debug)]
+pub(crate) struct SessionCursor {
+    threads: Vec<SessionThread>,
+    reports: Vec<ProgramReport>,
+    deadline: u64,
+    hit_limit: bool,
+}
+
+impl SessionCursor {
+    /// Whether every thread of the session has finished.
+    pub(crate) fn all_done(&self) -> bool {
+        self.threads.iter().all(|t| t.done)
+    }
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -349,8 +389,12 @@ impl Machine {
             // The stepped executor traces at actor granularity: one span per
             // hardware thread for the lifetime of its script.
             for actor in actors.iter() {
-                self.sink
-                    .begin(actor.domain(), actor.name(), Phase::Other, self.now);
+                self.sink.begin(
+                    actor.domain(),
+                    actor.name().to_owned(),
+                    Phase::Other,
+                    self.now,
+                );
             }
         }
 
@@ -389,7 +433,8 @@ impl Machine {
 
             if matches!(action, Action::Done) {
                 threads[idx].done = true;
-                self.sink.end(domain, actors[idx].name(), self.now);
+                self.sink
+                    .end(domain, actors[idx].name().to_owned(), self.now);
                 continue;
             }
             let completion = self.execute_action(domain, action, started);
@@ -412,7 +457,8 @@ impl Machine {
             for (idx, thread) in threads.iter().enumerate() {
                 let domain = actors[idx].domain();
                 if !thread.done {
-                    self.sink.end(domain, actors[idx].name(), self.now);
+                    self.sink
+                        .end(domain, actors[idx].name().to_owned(), self.now);
                 }
                 self.sink
                     .counter(domain, "actions", thread.actions, self.now);
@@ -512,31 +558,35 @@ impl Machine {
     /// batched [`PerfCounters::record_trace`] path), and consecutive
     /// operations of one program executed back-to-back whenever no other
     /// thread, interrupt or deadline could be scheduled between them.
+    ///
+    /// Internally this is a plain loop over the resumable
+    /// `Machine::session_turn` executor — the same three calls the lane
+    /// executor ([`crate::lanes::LaneMachine`]) interleaves across many
+    /// machines — so the single-machine and lane paths cannot drift apart.
     pub fn run_session(
         &mut self,
         programs: &[TraceProgram],
         extras: &mut [&mut dyn Actor],
         limit: u64,
     ) -> SessionReport {
-        struct ThreadState {
-            ready_at: u64,
-            done: bool,
-            interrupts: InterruptModel,
-            actions: u64,
-            stalled: u64,
-            /// Compiled-program cursor: next step index.
-            step: usize,
-            /// Offset within the current `Ops` step.
-            op_cursor: usize,
-            /// The program's anchor register (`Tlast` of Algorithm 3).
-            anchor: u64,
-            /// The open telemetry phase span (compiled programs only).
-            span: Option<Phase>,
-        }
+        let mut cursor = self.session_start(programs, extras, limit);
+        while self.session_turn(programs, extras, &mut cursor) {}
+        self.session_finish(programs, extras, cursor)
+    }
 
+    /// Builds the resumable state of a session run: per-thread scheduling
+    /// cursors, per-program reports and the cycle deadline.  Pair with
+    /// [`Machine::session_turn`] / [`Machine::session_finish`]; the
+    /// `programs`/`extras` arguments of all three calls must be the same.
+    pub(crate) fn session_start(
+        &mut self,
+        programs: &[TraceProgram],
+        extras: &mut [&mut dyn Actor],
+        limit: u64,
+    ) -> SessionCursor {
         let total = programs.len() + extras.len();
-        let mut threads: Vec<ThreadState> = (0..total)
-            .map(|_| ThreadState {
+        let threads: Vec<SessionThread> = (0..total)
+            .map(|_| SessionThread {
                 ready_at: self.now,
                 done: false,
                 interrupts: InterruptModel::new(&self.config.interrupts, &mut self.rng),
@@ -548,7 +598,7 @@ impl Machine {
                 span: None,
             })
             .collect();
-        let mut reports: Vec<ProgramReport> = programs
+        let reports: Vec<ProgramReport> = programs
             .iter()
             .map(|p| ProgramReport {
                 name: p.name().to_owned(),
@@ -561,18 +611,47 @@ impl Machine {
                 phase_cycles: PhaseCycles::default(),
             })
             .collect();
-        let deadline = self.now + limit;
-        let mut hit_limit = false;
         if self.sink.is_enabled() {
             // Dynamic actors trace at actor granularity, like Machine::run;
             // compiled programs get phase spans from their step annotations.
             for actor in extras.iter() {
-                self.sink
-                    .begin(actor.domain(), actor.name(), Phase::Other, self.now);
+                self.sink.begin(
+                    actor.domain(),
+                    actor.name().to_owned(),
+                    Phase::Other,
+                    self.now,
+                );
             }
         }
+        SessionCursor {
+            threads,
+            reports,
+            deadline: self.now + limit,
+            hit_limit: false,
+        }
+    }
 
-        loop {
+    /// Executes exactly one scheduling turn of an in-flight session — the
+    /// body of [`Machine::run_session`]'s outer loop: pick the
+    /// earliest-ready live thread (lowest index on ties), poll its
+    /// interrupts, then run one action, or a back-to-back burst of one
+    /// program's consecutive operations when nothing observable could be
+    /// scheduled between them.  Returns `false` once the session is over
+    /// (every thread done, or the deadline reached).
+    pub(crate) fn session_turn(
+        &mut self,
+        programs: &[TraceProgram],
+        extras: &mut [&mut dyn Actor],
+        cursor: &mut SessionCursor,
+    ) -> bool {
+        let SessionCursor {
+            threads,
+            reports,
+            deadline,
+            hit_limit,
+        } = cursor;
+        let deadline = *deadline;
+        {
             // Pick the runnable thread with the earliest ready time (the
             // first minimum, i.e. the lowest index on ties).
             let next = threads
@@ -582,11 +661,11 @@ impl Machine {
                 .min_by_key(|(_, t)| t.ready_at)
                 .map(|(i, t)| (i, t.ready_at));
             let Some((idx, ready_at)) = next else {
-                break; // every thread finished
+                return false; // every thread finished
             };
             if ready_at >= deadline {
-                hit_limit = true;
-                break;
+                *hit_limit = true;
+                return false;
             }
             self.now = self.now.max(ready_at);
 
@@ -598,7 +677,7 @@ impl Machine {
             {
                 threads[idx].ready_at = self.now + stall;
                 threads[idx].stalled += stall;
-                continue;
+                return true;
             }
 
             if idx >= programs.len() {
@@ -610,13 +689,13 @@ impl Machine {
                 let started = self.now;
                 if matches!(action, Action::Done) {
                     threads[idx].done = true;
-                    self.sink.end(domain, actor.name(), self.now);
-                    continue;
+                    self.sink.end(domain, actor.name().to_owned(), self.now);
+                    return true;
                 }
                 let completion = self.execute_action(domain, action, started);
                 threads[idx].ready_at = completion.finished_at;
                 actor.on_completion(&completion);
-                continue;
+                return true;
             }
 
             // ---- compiled program turn -------------------------------------
@@ -713,11 +792,11 @@ impl Machine {
                 let phase = program.step_phase(step_index);
                 reports[idx].phase_cycles.add(phase, finished_at - started);
                 if self.sink.is_enabled() && thread.span != Some(phase) {
-                    if let Some(prev) = thread.span.take() {
-                        self.sink.end(program.domain(), prev.label(), started);
-                    }
+                    // One batched append per span switch: no per-event
+                    // allocation (phase labels are 'static) and a single
+                    // enabled check for the end/begin pair.
                     self.sink
-                        .begin(program.domain(), phase.label(), phase, started);
+                        .phase_switch(program.domain(), thread.span.take(), phase, started);
                     thread.span = Some(phase);
                 }
                 thread.ready_at = finished_at;
@@ -744,7 +823,25 @@ impl Machine {
                 self.now = next_at;
             }
         }
+        true
+    }
 
+    /// Finalises a session whose [`Machine::session_turn`] returned `false`:
+    /// advances the clock to the session end, folds program aggregates into
+    /// the perf counters, closes telemetry spans and assembles the
+    /// [`SessionReport`].
+    pub(crate) fn session_finish(
+        &mut self,
+        programs: &[TraceProgram],
+        extras: &mut [&mut dyn Actor],
+        cursor: SessionCursor,
+    ) -> SessionReport {
+        let SessionCursor {
+            mut threads,
+            mut reports,
+            deadline,
+            hit_limit,
+        } = cursor;
         // The machine clock ends at the latest point any thread reached (or
         // the deadline when the limit was hit).
         let end = threads
@@ -777,7 +874,7 @@ impl Machine {
                 if let Some(prev) = thread.span.take() {
                     self.sink.end(domain, prev.label(), self.now);
                 } else if idx >= programs.len() && !thread.done {
-                    self.sink.end(domain, name, self.now);
+                    self.sink.end(domain, name.to_owned(), self.now);
                 }
                 self.sink
                     .counter(domain, "actions", thread.actions, self.now);

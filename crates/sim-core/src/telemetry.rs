@@ -31,6 +31,7 @@
 //! The [`export`] submodule renders events as Chrome trace-event JSON
 //! (loadable in Perfetto / `chrome://tracing`) and validates span nesting.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// The protocol phase a trace span (or a compiled program step) belongs to.
@@ -157,24 +158,29 @@ pub struct BitDecision {
 }
 
 /// What one [`TraceEvent`] records.
+///
+/// Span and counter names are `Cow<'static, str>` so the session executor's
+/// hot loop — whose names are all `'static` phase labels and counter names —
+/// records events without allocating; only dynamically named spans (actor
+/// names) pay for an owned string.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// A span opens (`ph: "B"` in Chrome trace terms).
     Begin {
         /// Span name (e.g. `"frame 3"`, `"encode"`).
-        name: String,
+        name: Cow<'static, str>,
         /// The protocol phase the span belongs to.
         phase: Phase,
     },
     /// The innermost open span of the domain closes (`ph: "E"`).
     End {
         /// Span name, matching the corresponding [`EventKind::Begin`].
-        name: String,
+        name: Cow<'static, str>,
     },
     /// A counter sample (`ph: "C"`).
     Counter {
         /// Counter name.
-        name: String,
+        name: Cow<'static, str>,
         /// Sampled value.
         value: u64,
     },
@@ -222,8 +228,15 @@ impl TraceSink {
         self.enabled
     }
 
-    /// Opens a span on `domain` at cycle `at`.
-    pub fn begin(&mut self, domain: u16, name: &str, phase: Phase, at: u64) {
+    /// Opens a span on `domain` at cycle `at`.  A `&'static str` name (every
+    /// phase label) records without allocating.
+    pub fn begin(
+        &mut self,
+        domain: u16,
+        name: impl Into<Cow<'static, str>>,
+        phase: Phase,
+        at: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -231,28 +244,32 @@ impl TraceSink {
             at,
             domain,
             kind: EventKind::Begin {
-                name: name.to_owned(),
+                name: name.into(),
                 phase,
             },
         });
     }
 
     /// Closes the innermost open span on `domain` at cycle `at`.
-    pub fn end(&mut self, domain: u16, name: &str, at: u64) {
+    pub fn end(&mut self, domain: u16, name: impl Into<Cow<'static, str>>, at: u64) {
         if !self.enabled {
             return;
         }
         self.events.push(TraceEvent {
             at,
             domain,
-            kind: EventKind::End {
-                name: name.to_owned(),
-            },
+            kind: EventKind::End { name: name.into() },
         });
     }
 
     /// Records a counter sample.
-    pub fn counter(&mut self, domain: u16, name: &str, value: u64, at: u64) {
+    pub fn counter(
+        &mut self,
+        domain: u16,
+        name: impl Into<Cow<'static, str>>,
+        value: u64,
+        at: u64,
+    ) {
         if !self.enabled {
             return;
         }
@@ -260,8 +277,37 @@ impl TraceSink {
             at,
             domain,
             kind: EventKind::Counter {
-                name: name.to_owned(),
+                name: name.into(),
                 value,
+            },
+        });
+    }
+
+    /// Switches `domain`'s open phase span in one batched append: closes
+    /// `prev` (when present) and opens `next`, both stamped `at`.  This is
+    /// the session executor's per-step emission path — one enabled check and
+    /// one reservation for the whole step, with `'static` phase-label names,
+    /// instead of separate allocating `end`/`begin` calls per event.
+    pub fn phase_switch(&mut self, domain: u16, prev: Option<Phase>, next: Phase, at: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.events.reserve(2);
+        if let Some(prev) = prev {
+            self.events.push(TraceEvent {
+                at,
+                domain,
+                kind: EventKind::End {
+                    name: Cow::Borrowed(prev.label()),
+                },
+            });
+        }
+        self.events.push(TraceEvent {
+            at,
+            domain,
+            kind: EventKind::Begin {
+                name: Cow::Borrowed(next.label()),
+                phase: next,
             },
         });
     }
@@ -454,9 +500,7 @@ mod tests {
             vec![TraceEvent {
                 at: 5,
                 domain: 2,
-                kind: EventKind::End {
-                    name: "x".to_owned(),
-                },
+                kind: EventKind::End { name: "x".into() },
             }],
             100,
         );

@@ -1,0 +1,168 @@
+//! Property-based coverage for the lane executor's equivalence contract.
+//!
+//! `LaneMachine::run_sessions` promises that a batch of `k` lanes is
+//! bit-identical to `k` serial `Machine::run_session` calls — reports
+//! (including `PhaseCycles`), perf counters, clocks *and* telemetry
+//! timelines.  The unit tests pin hand-picked shapes; these properties pin
+//! the contract for arbitrary hierarchy presets, replacement policies,
+//! seeds, interrupt noise and lane counts.
+
+use proptest::prelude::*;
+use sim_cache::addr::PhysAddr;
+use sim_cache::prelude::{HierarchyPreset, PolicyKind};
+use sim_core::lanes::{LaneMachine, LaneSession};
+use sim_core::machine::{Machine, MachineConfig};
+use sim_core::sched::InterruptConfig;
+use sim_core::session::TraceProgram;
+use sim_core::telemetry::Phase;
+
+fn arbitrary_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::TrueLru),
+        Just(PolicyKind::TreePlru),
+        Just(PolicyKind::Random),
+        Just(PolicyKind::IntelLike),
+        Just(PolicyKind::Fifo),
+        Just(PolicyKind::Nru),
+        Just(PolicyKind::Srrip),
+    ]
+}
+
+fn arbitrary_preset() -> impl Strategy<Value = HierarchyPreset> {
+    prop_oneof![
+        Just(HierarchyPreset::IntelInclusive),
+        Just(HierarchyPreset::AmdNonInclusive),
+        Just(HierarchyPreset::AmdExclusive),
+        Just(HierarchyPreset::ArmPoc),
+    ]
+}
+
+fn lane_config(
+    preset: HierarchyPreset,
+    policy: PolicyKind,
+    seed: u64,
+    noisy: bool,
+) -> MachineConfig {
+    let mut config = MachineConfig::xeon_e5_2650(policy, seed);
+    config.hierarchy = preset
+        .config(policy, 16, seed)
+        .expect("preset configs are valid");
+    if noisy {
+        config.interrupts = InterruptConfig {
+            period: 3_000,
+            period_jitter: 1_000,
+            duration: 400,
+            duration_jitter: 150,
+        };
+    }
+    config
+}
+
+/// A two-party session shaped like a miniature channel frame: a sender-style
+/// store burst against receiver-style measured chases with anchored waits.
+/// Seeds move the address material so lanes genuinely differ in content
+/// while agreeing in shape.
+fn lane_programs(seed: u64) -> Vec<TraceProgram> {
+    let set_stride = (seed % 5) * 0x1000;
+    let mut sender = TraceProgram::new("sender", 2);
+    sender.phase(Phase::Encode).wait_epoch(3_000);
+    for symbol in 0..4u64 {
+        sender
+            .store(PhysAddr(0x8000 + set_stride + symbol * 64))
+            .phase(Phase::Wait)
+            .wait_anchor(1_200)
+            .phase(Phase::Encode)
+            .anchor();
+    }
+    let chase: Vec<PhysAddr> = (0..6)
+        .map(|i| PhysAddr(0x10_000 + set_stride + i * 64))
+        .collect();
+    let mut receiver = TraceProgram::new("receiver", 1);
+    receiver
+        .phase(Phase::Prime)
+        .load(PhysAddr(0x10_000 + set_stride))
+        .phase(Phase::Wait)
+        .wait_floor(3_000, 600);
+    for _ in 0..4 {
+        receiver
+            .phase(Phase::Decode)
+            .anchor()
+            .chase(&chase)
+            .phase(Phase::Wait)
+            .wait_anchor(1_200);
+    }
+    vec![sender, receiver]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `lanes = k` equals `k` serial runs: reports (with `PhaseCycles`),
+    /// machine clocks, perf counters, hierarchy stats and traced timelines.
+    #[test]
+    fn lane_batches_match_serial_runs(
+        preset in arbitrary_preset(),
+        policy in arbitrary_policy(),
+        base_seed in 0u64..1_000,
+        lane_count in 1usize..5,
+        noisy_traced in 0u8..4,
+        limit in 20_000u64..120_000,
+    ) {
+        let (noisy, traced) = (noisy_traced & 1 == 1, noisy_traced & 2 == 2);
+        let configs: Vec<MachineConfig> = (0..lane_count as u64)
+            .map(|lane| lane_config(preset, policy, base_seed + lane, noisy))
+            .collect();
+        let programs: Vec<Vec<TraceProgram>> = (0..lane_count as u64)
+            .map(|lane| lane_programs(base_seed + lane))
+            .collect();
+
+        let mut bank = LaneMachine::new(&configs).unwrap();
+        if traced {
+            for lane in 0..lane_count {
+                bank.lane_mut(lane).enable_tracing();
+            }
+        }
+        let batch: Vec<LaneSession<'_>> = programs
+            .iter()
+            .map(|p| LaneSession { programs: p, limit })
+            .collect();
+        let reports = bank.run_sessions(&batch);
+
+        for lane in 0..lane_count {
+            let mut serial = Machine::new(configs[lane]).unwrap();
+            if traced {
+                serial.enable_tracing();
+            }
+            let expected = serial.run_session(&programs[lane], &mut [], limit);
+            prop_assert_eq!(&reports[lane], &expected, "report diverged on lane {}", lane);
+            prop_assert_eq!(
+                reports[lane].phase_cycles(),
+                expected.phase_cycles(),
+                "phase cycles diverged on lane {}",
+                lane
+            );
+            prop_assert_eq!(bank.lane(lane).now(), serial.now(), "clock diverged on lane {}", lane);
+            for domain in [1u16, 2] {
+                prop_assert_eq!(
+                    bank.lane(lane).perf(domain),
+                    serial.perf(domain),
+                    "perf diverged on lane {} domain {}",
+                    lane,
+                    domain
+                );
+            }
+            prop_assert_eq!(
+                bank.lane(lane).hierarchy().stats(),
+                serial.hierarchy().stats(),
+                "stats diverged on lane {}",
+                lane
+            );
+            prop_assert_eq!(
+                bank.lane_mut(lane).take_trace(),
+                serial.take_trace(),
+                "telemetry timeline diverged on lane {}",
+                lane
+            );
+        }
+    }
+}
